@@ -1,0 +1,53 @@
+// Command mstbench regenerates the reproduction experiments of
+// DESIGN.md (E1-E8), printing one table per experiment. The output of
+// `mstbench -full` is what EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	mstbench [-full] [-e e1,e5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"congestmst/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size experiments recorded in EXPERIMENTS.md")
+	only := flag.String("e", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+	if err := run(*full, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(full bool, only string) error {
+	var ids []string
+	if only != "" {
+		ids = strings.Split(only, ",")
+	} else {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		exp, ok := bench.Lookup(strings.TrimSpace(id))
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		start := time.Now()
+		table, err := exp.Run(full)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		fmt.Print(table.Format())
+		fmt.Printf("   (%s in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Command mstrun executes one distributed MST algorithm on one
+// generated graph under the CONGEST(b log n) simulator and prints the
+// measured complexities (and optionally the MST itself).
+//
+// Examples:
+//
+//	mstrun -graph random -n 1024 -m 4096 -alg elkin
+//	mstrun -graph ring -n 512 -alg ghs
+//	mstrun -graph cylinder -rows 8 -cols 128 -alg elkin-fixed-k -b 4
+//	mstrun -graph pathmst -n 2048 -alg pipeline -edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"congestmst"
+)
+
+func main() {
+	var (
+		graphType = flag.String("graph", "random", "random | ring | path | grid | cylinder | complete | star | bintree | lollipop | pathmst")
+		n         = flag.Int("n", 256, "number of vertices (most graph types)")
+		m         = flag.Int("m", 0, "number of edges (random; default 4n)")
+		rows      = flag.Int("rows", 8, "rows (grid, cylinder)")
+		cols      = flag.Int("cols", 32, "cols (grid, cylinder)")
+		clique    = flag.Int("clique", 16, "clique size (lollipop)")
+		tail      = flag.Int("tail", 64, "tail length (lollipop)")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		weights   = flag.String("weights", "distinct", "distinct | random | unit")
+		alg       = flag.String("alg", "elkin", "elkin | elkin-fixed-k | ghs | pipeline")
+		bandwidth = flag.Int("b", 1, "CONGEST(b log n) bandwidth")
+		root      = flag.Int("root", 0, "BFS root vertex")
+		fixedK    = flag.Int("k", 0, "pinned k for elkin-fixed-k (0 = sqrt n)")
+		edges     = flag.Bool("edges", false, "print the MST edge list")
+		metrics   = flag.Bool("metrics", false, "print the Equation (1) round decomposition (elkin only)")
+	)
+	flag.Parse()
+	if err := run(*graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
+		*alg, *bandwidth, *root, *fixedK, *edges, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "mstrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
+	weights, alg string, bandwidth, root, fixedK int, printEdges, printMetrics bool) error {
+	var mode congestmst.WeightMode
+	switch weights {
+	case "distinct":
+		mode = congestmst.WeightsDistinct
+	case "random":
+		mode = congestmst.WeightsRandom
+	case "unit":
+		mode = congestmst.WeightsUnit
+	default:
+		return fmt.Errorf("unknown weight mode %q", weights)
+	}
+	opts := congestmst.GenOptions{Seed: seed, Weights: mode}
+
+	var g *congestmst.Graph
+	var err error
+	switch graphType {
+	case "random":
+		if m == 0 {
+			m = 4 * n
+		}
+		g, err = congestmst.RandomConnected(n, m, opts)
+	case "ring":
+		g = congestmst.Ring(n, opts)
+	case "path":
+		g = congestmst.Path(n, opts)
+	case "grid":
+		g = congestmst.Grid(rows, cols, opts)
+	case "cylinder":
+		g = congestmst.Cylinder(rows, cols, opts)
+	case "complete":
+		g = congestmst.Complete(n, opts)
+	case "star":
+		g = congestmst.Star(n, opts)
+	case "bintree":
+		g = congestmst.BinaryTree(n, opts)
+	case "lollipop":
+		g = congestmst.Lollipop(clique, tail, opts)
+	case "pathmst":
+		if m == 0 {
+			m = 4 * n
+		}
+		g, err = congestmst.PathMST(n, m-(n-1), opts)
+	default:
+		return fmt.Errorf("unknown graph type %q", graphType)
+	}
+	if err != nil {
+		return err
+	}
+
+	var algorithm congestmst.Algorithm
+	switch alg {
+	case "elkin":
+		algorithm = congestmst.Elkin
+	case "elkin-fixed-k":
+		algorithm = congestmst.ElkinFixedK
+	case "ghs":
+		algorithm = congestmst.GHS
+	case "pipeline":
+		algorithm = congestmst.Pipeline
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	var met congestmst.Metrics
+	runOpts := congestmst.Options{
+		Algorithm: algorithm,
+		Bandwidth: bandwidth,
+		Root:      root,
+		FixedK:    fixedK,
+	}
+	if printMetrics {
+		runOpts.Metrics = &met
+	}
+	res, err := congestmst.Run(g, runOpts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("graph     : %s n=%d m=%d\n", graphType, g.N(), g.M())
+	fmt.Printf("algorithm : %s (b=%d)\n", algorithm, bandwidth)
+	fmt.Printf("rounds    : %d\n", res.Rounds)
+	fmt.Printf("messages  : %d\n", res.Messages)
+	fmt.Printf("mst weight: %d (%d edges, verified against Kruskal)\n", res.Weight, len(res.MSTEdges))
+	if res.K > 0 {
+		fmt.Printf("k         : %d\n", res.K)
+	}
+	if algorithm == congestmst.Elkin || algorithm == congestmst.ElkinFixedK {
+		fmt.Printf("boruvka   : %d phases\n", res.BoruvkaPhases)
+	}
+	if printMetrics {
+		fmt.Printf("decomposition (Equation 1): build=%d forest=%d register=%d boruvka=%v\n",
+			met.BuildRounds, met.ForestRounds, met.RegisterRounds, met.PhaseRounds)
+		fmt.Printf("base fragments: %d (max height %d)\n", met.BaseFragments, met.MaxFragHeight)
+	}
+	if printEdges {
+		for _, ei := range res.MSTEdges {
+			e := g.Edge(ei)
+			fmt.Printf("  (%d, %d) w=%d\n", e.U, e.V, e.W)
+		}
+	}
+	return nil
+}

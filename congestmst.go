@@ -1,0 +1,254 @@
+// Package congestmst is a from-scratch reproduction of
+//
+//	Michael Elkin, "A Simple Deterministic Distributed MST Algorithm,
+//	with Near-Optimal Time and Message Complexities", PODC 2017
+//	(arXiv:1703.02411),
+//
+// as a runnable Go library: a deterministic synchronous CONGEST(b log n)
+// simulator with enforced per-edge bandwidth, the paper's algorithm
+// (BFS tree + interval routing, Controlled-GHS base forest with
+// Cole-Vishkin matching, Boruvka-over-τ), and the baselines it is
+// measured against (GHS'83 and GKP'98 Pipeline-MST).
+//
+// Quick start:
+//
+//	g, _ := congestmst.RandomConnected(1024, 4096, congestmst.GenOptions{Seed: 1})
+//	res, err := congestmst.Run(g, congestmst.Options{})
+//	// res.MSTEdges is the unique MST; res.Rounds and res.Messages are
+//	// honest CONGEST complexities (bandwidth is enforced, not assumed).
+package congestmst
+
+import (
+	"fmt"
+
+	"congestmst/internal/congest"
+	"congestmst/internal/core"
+	"congestmst/internal/forest"
+	"congestmst/internal/ghs"
+	"congestmst/internal/graph"
+	"congestmst/internal/mathx"
+	"congestmst/internal/pipeline"
+	"congestmst/internal/verify"
+)
+
+// Algorithm selects which distributed MST algorithm to run.
+type Algorithm int
+
+const (
+	// Elkin is the paper's algorithm: deterministic,
+	// O((D + sqrt(n/b))·log n) rounds, O(m log n + n log n log* n)
+	// messages (Theorems 3.1 and 3.2). The default.
+	Elkin Algorithm = iota + 1
+	// ElkinFixedK is the Section 1.2 ablation: the paper's algorithm
+	// with the base-forest parameter pinned (to Options.FixedK, or
+	// sqrt(n) when zero), reproducing the Θ(D·sqrt(n)) message
+	// behaviour of the naive strategy when D >> sqrt(n).
+	ElkinFixedK
+	// GHS is the classical Gallager-Humblet-Spira algorithm:
+	// O(n log n) time, O(m + n log n) messages.
+	GHS
+	// Pipeline is Garay-Kutten-Peleg'98 Pipeline-MST:
+	// O(D + sqrt(n)·log* n) time but O(m + n^{3/2}) messages.
+	Pipeline
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Elkin:
+		return "elkin"
+	case ElkinFixedK:
+		return "elkin-fixed-k"
+	case GHS:
+		return "ghs"
+	case Pipeline:
+		return "pipeline"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Re-exported graph construction API. The vertex set is 0..n-1; edge
+// weights need not be distinct (ties are broken by the lexicographic
+// edge order, making the MST unique).
+type (
+	// Graph is a weighted undirected input graph.
+	Graph = graph.Graph
+	// Builder accumulates edges for a custom Graph.
+	Builder = graph.Builder
+	// Edge is one weighted undirected edge.
+	Edge = graph.Edge
+	// GenOptions seeds and parameterizes the generators.
+	GenOptions = graph.GenOptions
+	// WeightMode selects how generators assign weights.
+	WeightMode = graph.WeightMode
+	// Metrics is the per-stage round decomposition recorded by the τ
+	// root (Equation (1) of the paper). Elkin runs only.
+	Metrics = core.Metrics
+	// ForestTrace records Controlled-GHS phase snapshots for invariant
+	// inspection (Lemmas 4.1/4.2). Elkin runs only.
+	ForestTrace = forest.Trace
+	// Stats are the raw engine counters of a run.
+	Stats = congest.Stats
+)
+
+// Re-exported weight modes.
+const (
+	WeightsDistinct = graph.WeightsDistinct
+	WeightsRandom   = graph.WeightsRandom
+	WeightsUnit     = graph.WeightsUnit
+)
+
+// Re-exported generators.
+var (
+	NewBuilder      = graph.NewBuilder
+	RandomConnected = graph.RandomConnected
+	Path            = graph.Path
+	Ring            = graph.Ring
+	Grid            = graph.Grid
+	Cylinder        = graph.Cylinder
+	Complete        = graph.Complete
+	Star            = graph.Star
+	BinaryTree      = graph.BinaryTree
+	Lollipop        = graph.Lollipop
+	PathMST         = graph.PathMST
+)
+
+// NewForestTrace allocates a ForestTrace for a graph of n vertices and
+// base-forest parameter k.
+func NewForestTrace(n, k int) *ForestTrace { return forest.NewTrace(n, k) }
+
+// Options configures a Run.
+type Options struct {
+	// Algorithm selects the MST algorithm (default Elkin).
+	Algorithm Algorithm
+	// Bandwidth is the CONGEST(b log n) parameter: messages per edge
+	// per direction per round (default 1, the standard CONGEST model).
+	Bandwidth int
+	// Root designates the BFS root (Elkin, ElkinFixedK, Pipeline).
+	Root int
+	// FixedK pins the base-forest parameter for ElkinFixedK.
+	FixedK int
+	// MaxRounds aborts runaway executions (default 100 million).
+	MaxRounds int64
+	// Metrics, if non-nil, receives the Equation (1) decomposition
+	// (Elkin and ElkinFixedK only).
+	Metrics *Metrics
+	// ForestTrace, if non-nil, receives Controlled-GHS phase snapshots
+	// (Elkin and ElkinFixedK only).
+	ForestTrace *ForestTrace
+	// SkipVerify disables the post-run comparison against Kruskal's
+	// MST. Verification is on by default: a Result you receive without
+	// error is a proven-correct MST.
+	SkipVerify bool
+}
+
+// Result reports a completed run.
+type Result struct {
+	// MSTEdges are the indices (into g.Edges()) of the computed MST.
+	MSTEdges []int
+	// Weight is the total MST weight.
+	Weight int64
+	// PortsByVertex is each vertex's local view: the ports of its
+	// incident MST edges ("every vertex knows which of its edges are in
+	// the MST", Section 2).
+	PortsByVertex [][]int
+	// Rounds and Messages are the measured CONGEST complexities.
+	Rounds, Messages int64
+	// Stats carries the per-message-kind counters.
+	Stats *Stats
+	// K is the base-forest parameter used (Elkin variants, Pipeline).
+	K int
+	// BoruvkaPhases counts Boruvka-over-τ phases (Elkin variants).
+	BoruvkaPhases int
+}
+
+// ErrDisconnected is returned for graphs with more than one component.
+var ErrDisconnected = graph.ErrDisconnected
+
+// Run executes the selected algorithm on g under the CONGEST(b log n)
+// model and returns the computed MST with its measured complexities.
+// Unless SkipVerify is set, the output is checked against Kruskal's
+// algorithm before returning.
+func Run(g *Graph, opts Options) (*Result, error) {
+	if g.N() > 0 && !g.Connected() {
+		return nil, ErrDisconnected
+	}
+	if opts.Algorithm == 0 {
+		opts.Algorithm = Elkin
+	}
+	ports := make([][]int, g.N())
+	res := &Result{PortsByVertex: ports}
+
+	var program func(*congest.Ctx)
+	switch opts.Algorithm {
+	case Elkin, ElkinFixedK:
+		cfg := core.Config{
+			Root:        opts.Root,
+			Metrics:     opts.Metrics,
+			ForestTrace: opts.ForestTrace,
+		}
+		if opts.Algorithm == ElkinFixedK {
+			cfg.FixedK = opts.FixedK
+			if cfg.FixedK == 0 {
+				cfg.FixedK = mathx.Max(1, mathx.ISqrtCeil(g.N()))
+			}
+		}
+		program = func(ctx *congest.Ctx) {
+			r := core.Run(ctx, cfg)
+			ports[ctx.ID()] = r.MSTPorts
+			if ctx.ID() == opts.Root {
+				res.K = r.K
+				res.BoruvkaPhases = r.BoruvkaPhases
+			}
+		}
+	case GHS:
+		program = func(ctx *congest.Ctx) {
+			ports[ctx.ID()] = ghs.Run(ctx).MSTPorts
+		}
+	case Pipeline:
+		program = func(ctx *congest.Ctx) {
+			r := pipeline.Run(ctx, opts.Root)
+			ports[ctx.ID()] = r.MSTPorts
+			if ctx.ID() == opts.Root {
+				res.K = r.K
+			}
+		}
+	default:
+		return nil, fmt.Errorf("congestmst: unknown algorithm %v", opts.Algorithm)
+	}
+
+	engine := congest.NewEngine(g, congest.Config{
+		Bandwidth: opts.Bandwidth,
+		MaxRounds: opts.MaxRounds,
+	})
+	stats, err := engine.Run(program)
+	if err != nil {
+		return nil, fmt.Errorf("congestmst: %s: %w", opts.Algorithm, err)
+	}
+	res.Stats = stats
+	res.Rounds = stats.Rounds
+	res.Messages = stats.Messages
+
+	edges, err := verify.MSTFromPorts(g, ports)
+	if err != nil {
+		return nil, fmt.Errorf("congestmst: %s produced an inconsistent marking: %w", opts.Algorithm, err)
+	}
+	res.MSTEdges = edges
+	res.Weight = g.TotalWeight(edges)
+	if !opts.SkipVerify {
+		if err := verify.CheckMST(g, ports); err != nil {
+			return nil, fmt.Errorf("congestmst: %s output failed verification: %w", opts.Algorithm, err)
+		}
+	}
+	return res, nil
+}
+
+// MST computes the unique MST of g with the paper's algorithm under
+// default options and returns the edge indices.
+func MST(g *Graph) ([]int, error) {
+	res, err := Run(g, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.MSTEdges, nil
+}

@@ -1,0 +1,138 @@
+package congestmst
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunDefaultsToElkin(t *testing.T) {
+	g, err := RandomConnected(60, 180, GenOptions{Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MSTEdges) != g.N()-1 {
+		t.Errorf("%d MST edges, want %d", len(res.MSTEdges), g.N()-1)
+	}
+	want, err := g.Kruskal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != g.TotalWeight(want) {
+		t.Errorf("Weight = %d, want %d", res.Weight, g.TotalWeight(want))
+	}
+	if res.Rounds <= 0 || res.Messages <= 0 {
+		t.Errorf("missing stats: %+v", res)
+	}
+	if res.K <= 0 {
+		t.Errorf("K = %d", res.K)
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	g, err := RandomConnected(72, 200, GenOptions{Seed: 82, Weights: WeightsUnit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weights []int64
+	for _, alg := range []Algorithm{Elkin, ElkinFixedK, GHS, Pipeline} {
+		res, err := Run(g, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		weights = append(weights, res.Weight)
+	}
+	for i := 1; i < len(weights); i++ {
+		if weights[i] != weights[0] {
+			t.Errorf("algorithm %d weight %d != %d", i, weights[i], weights[0])
+		}
+	}
+}
+
+func TestRunDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Options{}); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestRunBandwidth(t *testing.T) {
+	g := Grid(8, 8, GenOptions{Seed: 83})
+	r1, err := Run(g, Options{Bandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(g, Options{Bandwidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Weight != r1.Weight {
+		t.Errorf("weights differ across bandwidths: %d vs %d", r4.Weight, r1.Weight)
+	}
+	if r4.Rounds > r1.Rounds {
+		t.Errorf("b=4 slower (%d rounds) than b=1 (%d rounds)", r4.Rounds, r1.Rounds)
+	}
+}
+
+func TestRunWithMetricsAndTrace(t *testing.T) {
+	g, err := RandomConnected(100, 250, GenOptions{Seed: 84})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Metrics{}
+	res, err := Run(g, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != res.K || m.N != 100 {
+		t.Errorf("metrics: %+v vs result K=%d", m, res.K)
+	}
+	tr := NewForestTrace(g.N(), m.K)
+	if _, err := Run(g, Options{ForestTrace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frag) == 0 {
+		t.Error("trace not recorded")
+	}
+}
+
+func TestMSTConvenience(t *testing.T) {
+	g := Ring(16, GenOptions{Seed: 85})
+	edges, err := MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 15 {
+		t.Errorf("%d edges, want 15", len(edges))
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	g := Path(4, GenOptions{})
+	if _, err := Run(g, Options{Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	tests := []struct {
+		a    Algorithm
+		want string
+	}{
+		{Elkin, "elkin"}, {ElkinFixedK, "elkin-fixed-k"}, {GHS, "ghs"}, {Pipeline, "pipeline"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.a), got, tt.want)
+		}
+	}
+}

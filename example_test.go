@@ -1,0 +1,61 @@
+package congestmst_test
+
+import (
+	"fmt"
+	"log"
+
+	"congestmst"
+)
+
+// ExampleRun computes the MST of a small hand-built graph with the
+// paper's algorithm and prints the verified result.
+func ExampleRun() {
+	//    0 --1-- 1
+	//    |       |
+	//    4       2
+	//    |       |
+	//    3 --8-- 2
+	b := congestmst.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 8)
+	b.AddEdge(3, 0, 4)
+	g, err := b.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := congestmst.Run(g, congestmst.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MST weight: %d\n", res.Weight)
+	for _, ei := range res.MSTEdges {
+		e := g.Edge(ei)
+		fmt.Printf("edge (%d,%d) w=%d\n", e.U, e.V, e.W)
+	}
+	// Output:
+	// MST weight: 7
+	// edge (0,1) w=1
+	// edge (0,3) w=4
+	// edge (1,2) w=2
+}
+
+// ExampleRun_bandwidth shows the CONGEST(b log n) generalization
+// (Theorem 3.2): more bandwidth, same MST, fewer rounds.
+func ExampleRun_bandwidth() {
+	g := congestmst.Grid(6, 6, congestmst.GenOptions{Seed: 5})
+	narrow, err := congestmst.Run(g, congestmst.Options{Bandwidth: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wide, err := congestmst.Run(g, congestmst.Options{Bandwidth: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same MST:", narrow.Weight == wide.Weight)
+	fmt.Println("wide not slower:", wide.Rounds <= narrow.Rounds)
+	// Output:
+	// same MST: true
+	// wide not slower: true
+}

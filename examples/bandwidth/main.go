@@ -1,0 +1,37 @@
+// Bandwidth: Theorem 3.2 in action. The CONGEST(b log n) model lets
+// every edge carry b messages per direction per round; the paper shows
+// the algorithm then runs in O((D + sqrt(n/b))·log n) rounds with
+// message complexity independent of b. This example sweeps b and prints
+// the measured speedups.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"congestmst"
+)
+
+func main() {
+	g, err := congestmst.RandomConnected(1024, 4096, congestmst.GenOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random graph: n=%d m=%d\n\n", g.N(), g.M())
+	fmt.Printf("%4s  %6s  %10s  %9s  %10s\n", "b", "k", "rounds", "speedup", "messages")
+
+	var base int64
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		res, err := congestmst.Run(g, congestmst.Options{Bandwidth: b})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Rounds
+		}
+		fmt.Printf("%4d  %6d  %10d  %8.2fx  %10d\n",
+			b, res.K, res.Rounds, float64(base)/float64(res.Rounds), res.Messages)
+	}
+	fmt.Println("\nrounds shrink like sqrt(n/b) (until the D and log n terms dominate);")
+	fmt.Println("the message count stays flat: bandwidth buys time, not communication.")
+}

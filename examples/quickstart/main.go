@@ -1,0 +1,49 @@
+// Quickstart: build a weighted graph, run the paper's deterministic
+// distributed MST algorithm on the CONGEST simulator, and inspect the
+// result. Everything below uses only the public congestmst API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"congestmst"
+)
+
+func main() {
+	// A random connected graph: 512 processors, 2048 links, distinct
+	// random weights. Every vertex hosts a processor; links carry one
+	// O(log n)-bit message per direction per round.
+	g, err := congestmst.RandomConnected(512, 2048, congestmst.GenOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run Elkin's algorithm (PODC'17). The result is verified against
+	// Kruskal's MST before Run returns.
+	res, err := congestmst.Run(g, congestmst.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("MST: %d edges, total weight %d\n", len(res.MSTEdges), res.Weight)
+	fmt.Printf("CONGEST complexity: %d rounds, %d messages\n", res.Rounds, res.Messages)
+	fmt.Printf("base forest parameter k=%d, %d Boruvka phases\n", res.K, res.BoruvkaPhases)
+
+	// Each vertex ends up knowing which of its own edges joined the
+	// MST (the model's output requirement). Show vertex 0's view:
+	fmt.Printf("vertex 0 sees %d incident MST edges:", len(res.PortsByVertex[0]))
+	for _, p := range res.PortsByVertex[0] {
+		arc := g.Adj(0)[p]
+		fmt.Printf(" (0-%d w=%d)", arc.To, g.Edge(arc.Edge).W)
+	}
+	fmt.Println()
+
+	// The convenience helper when only the tree matters:
+	edges, err := congestmst.MST(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("congestmst.MST returned %d edges\n", len(edges))
+}

@@ -1,0 +1,64 @@
+// Tracing: watch the algorithm's two engines work. The ForestTrace
+// records every Controlled-GHS phase of the base-forest construction
+// (Section 4 of the paper), and Metrics records the Equation (1) round
+// decomposition and per-phase Boruvka fragment counts. This example
+// prints both for a small grid, making the paper's structure visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"congestmst"
+)
+
+func main() {
+	g := congestmst.Grid(8, 8, congestmst.GenOptions{Seed: 9})
+	fmt.Printf("8x8 grid: n=%d m=%d\n\n", g.N(), g.M())
+
+	// First, a probe run to learn which k the paper's rule picks.
+	probe, err := congestmst.Run(g, congestmst.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := congestmst.NewForestTrace(g.N(), probe.K)
+	metrics := &congestmst.Metrics{}
+	res, err := congestmst.Run(g, congestmst.Options{ForestTrace: trace, Metrics: metrics})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("k = max(sqrt n, D) = %d  ->  %d Controlled-GHS phases\n\n", res.K, len(trace.Frag))
+	fmt.Println("Controlled-GHS (Section 4): fragments per phase")
+	fmt.Printf("%6s  %10s  %9s  %9s\n", "phase", "fragments", "min size", "example fragment")
+	for i := range trace.Frag {
+		counts := make(map[int64]int)
+		for _, f := range trace.Frag[i] {
+			counts[f]++
+		}
+		minSize, example := g.N(), int64(-1)
+		for f, c := range counts {
+			if c < minSize {
+				minSize, example = c, f
+			}
+		}
+		fmt.Printf("%6d  %10d  %9d  rooted at vertex %d\n", i, len(counts), minSize, example)
+	}
+
+	fmt.Println("\nBoruvka over the BFS tree (Section 3): coarse fragments per phase")
+	fmt.Printf("%6s  %16s  %12s\n", "phase", "coarse fragments", "rounds spent")
+	for j, f := range metrics.PhaseFragments {
+		fmt.Printf("%6d  %16d  %12d\n", j, f, metrics.PhaseRounds[j])
+	}
+
+	fmt.Println("\nEquation (1) decomposition of the total round count:")
+	fmt.Printf("  BFS tree + intervals : %6d rounds\n", metrics.BuildRounds)
+	fmt.Printf("  base forest (k=%3d)  : %6d rounds\n", metrics.K, metrics.ForestRounds)
+	fmt.Printf("  fragment registration: %6d rounds\n", metrics.RegisterRounds)
+	var boruvka int64
+	for _, r := range metrics.PhaseRounds {
+		boruvka += r
+	}
+	fmt.Printf("  Boruvka phases       : %6d rounds\n", boruvka)
+	fmt.Printf("  total                : %6d rounds, %d messages\n", res.Rounds, res.Messages)
+}

@@ -1,0 +1,192 @@
+package bfstree
+
+import "congestmst/internal/congest"
+
+// Build constructs the BFS tree rooted at the designated vertex. Every
+// vertex calls Build at round 0 and returns from it at the common round
+// T0 with its Tree filled in. Cost: O(D) rounds, O(m) messages.
+//
+// The construction is the textbook synchronous BFS with ack/nack child
+// discovery, followed by a convergecast of (subtree size, max depth), a
+// broadcast of (n, Height, T0), and the paper's top-down interval
+// assignment (Section 3): the root takes [1, n]; every vertex keeps the
+// low endpoint of its interval as its label and hands its children
+// disjoint subintervals sized by their subtree sizes.
+func Build(ctx congest.Context, root int) *Tree {
+	t := &Tree{ctx: ctx, ParentPort: -1}
+	t.Root = ctx.ID() == root
+	deg := ctx.Degree()
+
+	pending := 0 // LEVEL replies still owed to us
+	if t.Root {
+		for p := 0; p < deg; p++ {
+			ctx.Send(p, congest.Message{Kind: KindLevel, A: 0})
+		}
+		pending = deg
+	} else {
+		// Wait for the BFS wave.
+		msgs := ctx.Recv()
+		t.Depth = msgs[0].Msg.A + 1
+		seen := make(map[int]bool, len(msgs))
+		for i, in := range msgs {
+			if in.Msg.Kind != KindLevel {
+				protocolf("vertex %d expected LEVEL, got kind %d", ctx.ID(), in.Msg.Kind)
+			}
+			seen[in.Port] = true
+			if i == 0 {
+				t.ParentPort = in.Port // lowest port: inbox is sorted
+				ctx.Send(in.Port, congest.Message{Kind: KindAck})
+			} else {
+				ctx.Send(in.Port, congest.Message{Kind: KindNack})
+			}
+		}
+		for p := 0; p < deg; p++ {
+			if !seen[p] {
+				ctx.Send(p, congest.Message{Kind: KindLevel, A: t.Depth})
+				pending++
+			}
+		}
+	}
+
+	// Collect replies and child DONEs.
+	t.Size = 1
+	maxDepth := t.Depth
+	childDone := 0
+	for pending > 0 || childDone < len(t.ChildPorts) {
+		for _, in := range ctx.Recv() {
+			switch in.Msg.Kind {
+			case KindLevel:
+				// A same-depth cross edge; never a child.
+				ctx.Send(in.Port, congest.Message{Kind: KindNack})
+			case KindAck:
+				t.ChildPorts = append(t.ChildPorts, in.Port)
+				t.ChildSizes = append(t.ChildSizes, 0)
+				pending--
+			case KindNack:
+				pending--
+			case KindDone:
+				idx := t.childIndex(in.Port)
+				t.ChildSizes[idx] = in.Msg.A
+				t.Size += in.Msg.A
+				if in.Msg.B > maxDepth {
+					maxDepth = in.Msg.B
+				}
+				childDone++
+			default:
+				protocolf("vertex %d: unexpected kind %d during BFS", ctx.ID(), in.Msg.Kind)
+			}
+		}
+	}
+	sortChildren(t)
+
+	if t.Root {
+		t.N = t.Size
+		t.Height = maxDepth
+		t.Lo, t.Hi = 1, t.N
+		s := ctx.Round()
+		t.T0 = s + t.Height + 2
+		for _, p := range t.ChildPorts {
+			ctx.Send(p, congest.Message{Kind: KindInit, A: t.N, B: t.Height, C: t.T0})
+		}
+		if len(t.ChildPorts) > 0 {
+			if got := ctx.Step(); len(got) != 0 {
+				protocolf("root received %d stray messages before intervals", len(got))
+			}
+			t.assignChildIntervals()
+		}
+		waitQuiet(ctx, t.T0)
+		return t
+	}
+
+	// Step away from the round in which we may have ACKed on the parent
+	// port, then report our completed subtree.
+	if got := ctx.Step(); len(got) != 0 {
+		protocolf("vertex %d received %d messages while completing", ctx.ID(), len(got))
+	}
+	ctx.Send(t.ParentPort, congest.Message{Kind: KindDone, A: t.Size, B: maxDepth})
+
+	// INIT then INTERVAL arrive from the parent, one round apart.
+	init := recvOne(ctx, KindInit, t.ParentPort)
+	t.N, t.Height, t.T0 = init.A, init.B, init.C
+	for _, p := range t.ChildPorts {
+		ctx.Send(p, congest.Message{Kind: KindInit, A: t.N, B: t.Height, C: t.T0})
+	}
+	iv := recvOne(ctx, KindInterval, t.ParentPort)
+	t.Lo, t.Hi = iv.A, iv.B
+	t.assignChildIntervals()
+	waitQuiet(ctx, t.T0)
+	return t
+}
+
+// assignChildIntervals gives child i the subinterval of size
+// ChildSizes[i] starting right after the vertex's own label, in
+// ascending port order, and sends it.
+func (t *Tree) assignChildIntervals() {
+	next := t.Lo + 1
+	t.ChildIvs = make([][2]int64, len(t.ChildPorts))
+	for i, p := range t.ChildPorts {
+		lo, hi := next, next+t.ChildSizes[i]-1
+		t.ChildIvs[i] = [2]int64{lo, hi}
+		next = hi + 1
+		t.ctx.Send(p, congest.Message{Kind: KindInterval, A: lo, B: hi})
+	}
+	if next != t.Hi+1 {
+		protocolf("vertex %d interval arithmetic: next=%d hi=%d", t.ctx.ID(), next, t.Hi)
+	}
+}
+
+func (t *Tree) childIndex(port int) int {
+	for i, p := range t.ChildPorts {
+		if p == port {
+			return i
+		}
+	}
+	protocolf("vertex %d: port %d is not a child", t.ctx.ID(), port)
+	return -1
+}
+
+func sortChildren(t *Tree) {
+	// ChildPorts were appended in arrival order; re-sort by port with
+	// sizes kept parallel. Arrival order is already sorted per round,
+	// but ACKs can span rounds.
+	idx := make([]int, len(t.ChildPorts))
+	for i := range idx {
+		idx[i] = i
+	}
+	ports := append([]int(nil), t.ChildPorts...)
+	sizes := append([]int64(nil), t.ChildSizes...)
+	for i := range idx {
+		best := i
+		for j := i + 1; j < len(ports); j++ {
+			if ports[j] < ports[best] {
+				best = j
+			}
+		}
+		ports[i], ports[best] = ports[best], ports[i]
+		sizes[i], sizes[best] = sizes[best], sizes[i]
+	}
+	t.ChildPorts, t.ChildSizes = ports, sizes
+}
+
+// recvOne blocks until a single message of the given kind arrives from
+// the given port and returns it.
+func recvOne(ctx congest.Context, kind uint8, port int) congest.Message {
+	msgs := ctx.Recv()
+	if len(msgs) != 1 || msgs[0].Msg.Kind != kind || msgs[0].Port != port {
+		protocolf("vertex %d expected single kind-%d from port %d, got %v", ctx.ID(), kind, port, msgs)
+	}
+	return msgs[0].Msg
+}
+
+// waitQuiet parks until the common round t0, asserting no stray traffic.
+func waitQuiet(ctx congest.Context, t0 int64) {
+	if ctx.Round() > t0 {
+		protocolf("vertex %d at round %d is past the alignment round %d", ctx.ID(), ctx.Round(), t0)
+	}
+	for ctx.Round() < t0 {
+		if msgs := ctx.RecvUntil(t0); len(msgs) != 0 {
+			protocolf("vertex %d received %d stray messages at round %d before round %d: %v",
+				ctx.ID(), len(msgs), ctx.Round(), t0, msgs)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package congest simulates the synchronous CONGEST(b log n) model of
+// distributed computation (Peleg, "Distributed Computing: A
+// Locality-Sensitive Approach"; Section 2 of Elkin, PODC'17).
+//
+// Every vertex of a weighted graph hosts a processor, written as an
+// ordinary Go function running in its own goroutine against a *Ctx.
+// Computation proceeds in lockstep rounds: a message sent in round r is
+// delivered at the beginning of round r+1. Each edge carries at most b
+// messages per direction per round; exceeding the budget aborts the run
+// with an error, so every complexity figure measured under this engine
+// is an honest CONGEST figure.
+//
+// The model is "clean" (KT0): a processor knows its own identity, its
+// number of ports, and the weight of each incident edge - nothing else.
+// Neighbor identities must be learned through messages.
+//
+// The engine is deterministic: inboxes are sorted by port, per-port FIFO
+// order is preserved, and node programs are required to be deterministic
+// functions of their inputs. Two runs of the same program on the same
+// graph produce identical round and message counts.
+package congest
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"congestmst/internal/graph"
+)
+
+// Forever is the RecvUntil deadline meaning "wake only on delivery".
+const Forever = int64(math.MaxInt64)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Bandwidth is b: the number of Messages each edge carries per
+	// direction per round. Zero means 1 (the standard CONGEST model).
+	Bandwidth int
+	// MaxRounds aborts runs that exceed this many rounds (a safety net
+	// against livelocked programs). Zero means 100 million.
+	MaxRounds int64
+}
+
+func (c Config) bandwidth() int {
+	if c.Bandwidth <= 0 {
+		return 1
+	}
+	return c.Bandwidth
+}
+
+func (c Config) maxRounds() int64 {
+	if c.MaxRounds <= 0 {
+		return 100_000_000
+	}
+	return c.MaxRounds
+}
+
+// Stats reports the complexity measures of a completed run.
+type Stats struct {
+	// Rounds is the index of the last round in which any processor ran.
+	Rounds int64
+	// Messages is the total number of Messages delivered.
+	Messages int64
+	// ByKind counts delivered Messages per Message.Kind.
+	ByKind [256]int64
+}
+
+// Errors produced by the engine.
+var (
+	ErrBandwidth = errors.New("congest: per-edge bandwidth exceeded")
+	ErrDeadlock  = errors.New("congest: deadlock: all processors blocked with no messages in flight")
+	ErrMaxRounds = errors.New("congest: exceeded MaxRounds")
+	ErrReused    = errors.New("congest: Engine.Run may only be called once")
+)
+
+// errAborted is the sentinel panic value used to unwind node goroutines
+// after the run has failed. It never escapes the package.
+var errAborted = errors.New("congest: run aborted")
+
+// Engine executes one program on one graph. Engines are single-use.
+type Engine struct {
+	g   *graph.Graph
+	cfg Config
+
+	// portPeer[v][p] is the port index at the far endpoint of the edge
+	// behind port p of vertex v.
+	portPeer [][]int
+
+	nodes  []nodeState
+	yields chan yieldMsg
+
+	round int64
+	stats Stats
+
+	// ready lists processors due at round+1 (fresh deliveries or an
+	// explicit Step); timers orders the more distant deadlines.
+	ready  []int
+	timers timerHeap
+
+	mu      sync.Mutex
+	failErr error
+	aborted bool
+}
+
+type nodeState struct {
+	ctx    *Ctx
+	inbox  []Inbound
+	queued bool  // already in the next wake set
+	parked bool  // blocked in a yield
+	target int64 // wake deadline while parked
+	gen    int64 // invalidates stale timer entries
+	done   bool
+}
+
+type yieldMsg struct {
+	id     int
+	outbox []outMsg
+	target int64
+	done   bool
+}
+
+type wake struct {
+	round int64
+	msgs  []Inbound
+	abort bool
+}
+
+// NewEngine prepares an engine for g under cfg.
+func NewEngine(g *graph.Graph, cfg Config) *Engine {
+	e := &Engine{
+		g:        g,
+		cfg:      cfg,
+		portPeer: make([][]int, g.N()),
+		nodes:    make([]nodeState, g.N()),
+		yields:   make(chan yieldMsg, 64),
+	}
+	// ports[ei] records the port index of edge ei at each endpoint
+	// (slot 0 for the smaller endpoint U, slot 1 for V).
+	ports := make([][2]int, g.M())
+	for v := 0; v < g.N(); v++ {
+		for p, a := range g.Adj(v) {
+			if v == g.Edge(a.Edge).U {
+				ports[a.Edge][0] = p
+			} else {
+				ports[a.Edge][1] = p
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		adj := g.Adj(v)
+		e.portPeer[v] = make([]int, len(adj))
+		for p, a := range adj {
+			if v == g.Edge(a.Edge).U {
+				e.portPeer[v][p] = ports[a.Edge][1]
+			} else {
+				e.portPeer[v][p] = ports[a.Edge][0]
+			}
+		}
+	}
+	return e
+}
+
+// Run executes program on every vertex and blocks until all processors
+// return (or the run fails). It returns the stats accumulated up to
+// completion or failure.
+func (e *Engine) Run(program func(*Ctx)) (*Stats, error) {
+	if e.nodes == nil {
+		return nil, ErrReused
+	}
+	n := e.g.N()
+	for v := 0; v < n; v++ {
+		e.nodes[v].ctx = newCtx(e, v)
+	}
+	for v := 0; v < n; v++ {
+		go e.runNode(e.nodes[v].ctx, program)
+	}
+
+	// Round 0: release everyone.
+	current := make([]int, n)
+	for v := range current {
+		current[v] = v
+	}
+	doneCount := 0
+	for {
+		doneCount += e.playRound(current)
+		if e.isAborted() {
+			doneCount += e.drain()
+			break
+		}
+		if doneCount == n {
+			break
+		}
+		next, err := e.nextWakeSet()
+		if err != nil {
+			e.fail(err)
+			doneCount += e.drain()
+			break
+		}
+		current = next
+	}
+	e.nodes = nil // single use
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	stats := e.stats
+	return &stats, e.failErr
+}
+
+// playRound releases the given processors at the current round, waits
+// for all of them to yield, routes their messages, and returns how many
+// of them finished their program.
+func (e *Engine) playRound(ids []int) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	if e.round > e.stats.Rounds {
+		e.stats.Rounds = e.round
+	}
+	for _, id := range ids {
+		ns := &e.nodes[id]
+		ns.queued = false
+		ns.parked = false
+		msgs := ns.inbox
+		ns.inbox = nil
+		if len(msgs) > 1 {
+			sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].Port < msgs[j].Port })
+		}
+		ns.ctx.resume <- wake{round: e.round, msgs: msgs}
+	}
+	finished := 0
+	for range ids {
+		y := <-e.yields
+		ns := &e.nodes[y.id]
+		for _, om := range y.outbox {
+			e.route(y.id, om)
+		}
+		if y.done {
+			ns.done = true
+			finished++
+			continue
+		}
+		ns.parked = true
+		ns.target = y.target
+		ns.gen++
+		switch {
+		case len(ns.inbox) > 0 || y.target == e.round+1:
+			if !ns.queued {
+				ns.queued = true
+				e.ready = append(e.ready, y.id)
+			}
+		case y.target < Forever:
+			heap.Push(&e.timers, timerEntry{round: y.target, id: y.id, gen: ns.gen})
+		}
+	}
+	return finished
+}
+
+// route delivers one outbound message into the recipient's inbox and
+// schedules the recipient's wakeup for the next round.
+func (e *Engine) route(from int, om outMsg) {
+	arc := e.g.Adj(from)[om.port]
+	to := arc.To
+	ns := &e.nodes[to]
+	ns.inbox = append(ns.inbox, Inbound{Port: e.portPeer[from][om.port], Msg: om.msg})
+	e.stats.Messages++
+	e.stats.ByKind[om.msg.Kind]++
+	if ns.parked && !ns.queued && !ns.done {
+		ns.queued = true
+		e.ready = append(e.ready, to)
+	}
+}
+
+// nextWakeSet advances the round and returns the processors to release.
+func (e *Engine) nextWakeSet() ([]int, error) {
+	// First preference: the immediate next round, if anyone is due
+	// (either fresh deliveries or an explicit Step target).
+	if len(e.ready) > 0 {
+		due := e.ready
+		e.ready = nil
+		e.round++
+		if e.round > e.cfg.maxRounds() {
+			return nil, fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.maxRounds())
+		}
+		// Timers expiring at (or before) the new round fire together
+		// with the message-driven wakeups.
+		return append(due, e.popTimers(e.round)...), nil
+	}
+	// Otherwise fast-forward the clock to the earliest live timer.
+	for e.timers.Len() > 0 {
+		top := e.timers.items[0]
+		if ns := &e.nodes[top.id]; ns.done || !ns.parked || ns.queued || ns.gen != top.gen {
+			heap.Pop(&e.timers) // stale
+			continue
+		}
+		target := top.round
+		if target > e.cfg.maxRounds() {
+			return nil, fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.maxRounds())
+		}
+		e.round = target
+		return e.popTimers(target), nil
+	}
+	return nil, ErrDeadlock
+}
+
+// popTimers releases every live timer entry with deadline <= round.
+func (e *Engine) popTimers(round int64) []int {
+	var due []int
+	for e.timers.Len() > 0 && e.timers.items[0].round <= round {
+		entry := heap.Pop(&e.timers).(timerEntry)
+		ns := &e.nodes[entry.id]
+		if ns.done || !ns.parked || ns.queued || ns.gen != entry.gen {
+			continue
+		}
+		ns.queued = true // guards against double release
+		due = append(due, entry.id)
+	}
+	return due
+}
+
+// drain aborts every still-parked processor and waits for its goroutine
+// to exit, returning the number of processors drained. Scanning by id is
+// O(n) but drain runs at most once per Run.
+func (e *Engine) drain() int {
+	finished := 0
+	for id := range e.nodes {
+		ns := &e.nodes[id]
+		if ns.done || !ns.parked {
+			continue
+		}
+		ns.ctx.resume <- wake{abort: true}
+		y := <-e.yields
+		e.nodes[y.id].done = true
+		finished++
+	}
+	return finished
+}
+
+func (e *Engine) runNode(c *Ctx, program func(*Ctx)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errAborted { //nolint:errorlint // sentinel identity
+				e.fail(fmt.Errorf("congest: processor %d panicked: %v", c.id, r))
+			}
+			e.yields <- yieldMsg{id: c.id, done: true}
+			return
+		}
+		e.yields <- yieldMsg{id: c.id, done: true, outbox: c.outbox}
+	}()
+	w := <-c.resume
+	if w.abort {
+		panic(errAborted)
+	}
+	c.round = w.round
+	program(c)
+}
+
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	e.aborted = true
+}
+
+func (e *Engine) isAborted() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.aborted
+}
+
+type timerEntry struct {
+	round int64
+	id    int
+	gen   int64
+}
+
+type timerHeap struct {
+	items []timerEntry
+}
+
+func (h *timerHeap) Len() int           { return len(h.items) }
+func (h *timerHeap) Less(i, j int) bool { return h.items[i].round < h.items[j].round }
+func (h *timerHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *timerHeap) Push(x any)         { h.items = append(h.items, x.(timerEntry)) }
+func (h *timerHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,25 @@
+package congest
+
+// Message is the unit in which CONGEST message complexity is counted: a
+// kind tag plus at most four integer payload words, i.e. a constant
+// number of vertex identities and/or edge weights (O(log n) bits). One
+// Message consumes one unit of per-edge bandwidth in the round it is
+// sent; CONGEST(b log n) permits b Messages per edge-direction per round.
+type Message struct {
+	Kind       uint8
+	A, B, C, D int64
+}
+
+// Inbound is a received message tagged with the local port (index into
+// the receiving vertex's adjacency list) it arrived on. In the clean
+// network model a vertex initially knows its ports, not its neighbors'
+// identities.
+type Inbound struct {
+	Port int
+	Msg  Message
+}
+
+type outMsg struct {
+	port int
+	msg  Message
+}

@@ -1,0 +1,426 @@
+// Package core implements the paper's main contribution (Section 3):
+// the deterministic distributed MST algorithm with O((D + sqrt(n))·
+// log n) round complexity and O(m·log n + n·log n·log* n) message
+// complexity in CONGEST, and O((D + sqrt(n/b))·log n) rounds in
+// CONGEST(b log n) (Theorems 3.1 and 3.2).
+//
+// Structure, following the paper exactly:
+//
+//  1. Build an auxiliary BFS tree τ rooted at a designated vertex and
+//     compute the interval labels used for routing (bfstree.Build).
+//  2. Choose k = max(sqrt(n/b), D): for low diameters this is the
+//     classical sqrt(n/b) regime, for high diameters k = D keeps the
+//     per-phase downcast cost at O(D·n/k) = O(n) messages.
+//  3. Build an (n/k, O(k)) base MST forest F (internal/forest).
+//  4. Register the base fragments at the root of τ via a pipelined
+//     convergecast (fragment id, routing label, fragment height).
+//  5. Run Boruvka phases over the coarse forest F̂_j: each base
+//     fragment finds its lightest edge leaving V(F̂), the candidates
+//     are min-filtered up τ, the root merges the fragment graph
+//     locally, and the new coarse identities travel back down τ by
+//     interval routing, then through each base fragment.
+//
+// The ablation knob Config.FixedK pins k (e.g. to sqrt(n) regardless of
+// D), reproducing the message-inefficient strategy that the paper's
+// Section 1.2 identifies in [PRS16] for D >> sqrt(n).
+package core
+
+import (
+	"fmt"
+
+	"congestmst/internal/bfstree"
+	"congestmst/internal/congest"
+	"congestmst/internal/forest"
+	"congestmst/internal/fragops"
+	"congestmst/internal/graph"
+	"congestmst/internal/mathx"
+)
+
+// Message kinds used by the Boruvka-over-τ stage (range 50-79).
+const (
+	KindNbrCoarse uint8 = 50 // neighbor update: A = coarse fragment id
+	KindMSTMark   uint8 = 51 // "the edge between us joined the MST"
+)
+
+// Config parameterizes a run of the algorithm.
+type Config struct {
+	// Root designates the BFS root rt of τ (default vertex 0).
+	Root int
+	// FixedK pins the base-forest parameter k instead of the paper's
+	// max(sqrt(n/b), D) rule. Used by the E5 ablation.
+	FixedK int
+	// ForestTrace, when non-nil, records Controlled-GHS phase
+	// snapshots (see forest.Trace).
+	ForestTrace *forest.Trace
+	// Metrics, when non-nil, is filled in by the τ-root vertex with the
+	// per-stage round decomposition of Equation (1).
+	Metrics *Metrics
+}
+
+// Metrics is the τ-root's account of where rounds went (Equation (1)).
+type Metrics struct {
+	N, Height      int64
+	K              int
+	BuildRounds    int64   // BFS tree + intervals
+	ForestRounds   int64   // Controlled-GHS base forest
+	RegisterRounds int64   // fragment registration upcast
+	PhaseRounds    []int64 // per Boruvka phase
+	PhaseFragments []int   // |F̂_j| at the start of each phase
+	BaseFragments  int     // |F|
+	MaxFragHeight  int64   // H_F, the deepest base fragment tree
+}
+
+// Result is one vertex's view of the computed MST.
+type Result struct {
+	// MSTPorts lists the ports of this vertex's incident MST edges.
+	MSTPorts []int
+	// FragID is the final coarse fragment identity (one per connected
+	// component; a single value on connected graphs).
+	FragID int64
+	// K is the base-forest parameter the run used.
+	K int
+	// BoruvkaPhases counts the executed Boruvka-over-τ phases.
+	BoruvkaPhases int
+}
+
+// Run executes the full algorithm on this vertex. Every vertex must
+// invoke Run in round 0 with an identical Config; all vertices return
+// in the same round.
+func Run(ctx congest.Context, cfg Config) *Result {
+	tau := bfstree.Build(ctx, cfg.Root)
+	n := tau.N
+	b := int64(ctx.Bandwidth())
+
+	k := chooseK(n, tau.Height, b, cfg.FixedK)
+	if cfg.Metrics != nil && tau.Root {
+		cfg.Metrics.N, cfg.Metrics.Height, cfg.Metrics.K = n, tau.Height, k
+		cfg.Metrics.BuildRounds = ctx.Round()
+	}
+
+	st := forest.Run(ctx, k, cfg.ForestTrace)
+	forestEnd := ctx.Round()
+	if cfg.Metrics != nil && tau.Root {
+		cfg.Metrics.ForestRounds = forestEnd - cfg.Metrics.BuildRounds
+	}
+
+	r := &boruvka{
+		ctx:       ctx,
+		tau:       tau,
+		st:        st,
+		cfg:       cfg,
+		coarse:    st.FragID,
+		nbrCoarse: make([]int64, ctx.Degree()),
+		mstPorts:  make(map[int]bool),
+	}
+	if st.ParentPort >= 0 {
+		r.mstPorts[st.ParentPort] = true
+	}
+	for _, p := range st.ChildPorts {
+		r.mstPorts[p] = true
+	}
+
+	r.register(k)
+	phases := r.loop()
+
+	ports := make([]int, 0, len(r.mstPorts))
+	for p := range r.mstPorts {
+		ports = append(ports, p)
+	}
+	sortInts(ports)
+	return &Result{
+		MSTPorts:      ports,
+		FragID:        r.coarse,
+		K:             k,
+		BoruvkaPhases: phases,
+	}
+}
+
+// chooseK implements the paper's parameter rule: k = sqrt(n/b) in the
+// small-diameter regime, k = D when D exceeds it (Sections 3).
+// The BFS-tree height stands in for D (Height <= D <= 2·Height, which
+// shifts constants only).
+func chooseK(n, height, b int64, fixed int) int {
+	if fixed > 0 {
+		return fixed
+	}
+	k := int64(mathx.ISqrtCeil(int(n / b)))
+	if height > k {
+		k = height
+	}
+	if k < 1 {
+		k = 1
+	}
+	return int(k)
+}
+
+// boruvka is the per-vertex state of the Boruvka-over-τ stage.
+type boruvka struct {
+	ctx congest.Context
+	tau *bfstree.Tree
+	st  *forest.State
+	cfg Config
+
+	coarse    int64
+	nbrCoarse []int64
+	mstPorts  map[int]bool
+	fragWin   int64 // window length for base-fragment tree operations
+	winner    int   // argmin winner pointer
+
+	// τ-root bookkeeping (empty elsewhere).
+	fragLabel  map[int64]int64 // base fragment id -> routing label of its root
+	fragCoarse map[int64]int64 // base fragment id -> current coarse id
+}
+
+// register measures every base fragment, reports (id, label, height) to
+// the τ root via a pipelined upcast, and distributes the global
+// fragment-height bound H_F used to size later windows. Cost:
+// O(k + D + |F|/b) rounds, O(n + D·|F|) messages — the paper's
+// "upcast of |F_0| identities" step.
+func (r *boruvka) register(k int) {
+	ctx := r.ctx
+	// 12k+4 bounds the base fragment height: Controlled-GHS guarantees
+	// strong diameter at most 6·2^ceil(log k) <= 12k (Theorem 4.3).
+	meas, isFragRoot := fragops.Converge(ctx, r.st.ParentPort, r.st.ChildPorts,
+		ctx.Round()+int64(12*k+6), true, [3]int64{1, 0, 0}, sizeHeight)
+	var items []bfstree.Item
+	if isFragRoot {
+		items = []bfstree.Item{{Group: r.st.FragID, W: meas[1], U: r.tau.Lo, V: 0}}
+	}
+	regStart := ctx.Round()
+	regs := r.tau.PipelinedUpcast(items)
+	var maxH int64
+	if r.tau.Root {
+		r.fragLabel = make(map[int64]int64, len(regs))
+		r.fragCoarse = make(map[int64]int64, len(regs))
+		for _, it := range regs {
+			r.fragLabel[it.Group] = it.U
+			r.fragCoarse[it.Group] = it.Group
+			if it.W > maxH {
+				maxH = it.W
+			}
+		}
+		if m := r.cfg.Metrics; m != nil {
+			m.BaseFragments = len(regs)
+			m.MaxFragHeight = maxH
+		}
+	}
+	got := r.tau.SyncBroadcast(congest.Message{A: maxH})
+	r.fragWin = got.A + 2
+	if m := r.cfg.Metrics; m != nil && r.tau.Root {
+		m.RegisterRounds = ctx.Round() - regStart
+	}
+}
+
+// loop runs Boruvka phases until the τ root announces completion, and
+// returns the number of phases executed.
+func (r *boruvka) loop() int {
+	phases := 0
+	for {
+		start := r.ctx.Round()
+		done := r.phase()
+		if m := r.cfg.Metrics; m != nil && r.tau.Root && !done {
+			m.PhaseRounds = append(m.PhaseRounds, r.ctx.Round()-start)
+		}
+		if done {
+			return phases
+		}
+		phases++
+		if phases > 64 {
+			panic("core: Boruvka did not halve (more than 64 phases)")
+		}
+	}
+}
+
+// phase executes one Boruvka phase; it reports true when the root
+// announced completion (in which case the phase did no merging).
+func (r *boruvka) phase() bool {
+	ctx := r.ctx
+
+	// (1) Neighbor update: O(1) rounds, O(m) messages.
+	deg := ctx.Degree()
+	for p := 0; p < deg; p++ {
+		ctx.Send(p, congest.Message{Kind: KindNbrCoarse, A: r.coarse})
+	}
+	got := 0
+	fragops.Window(ctx, ctx.Round()+2, func(in congest.Inbound) {
+		if in.Msg.Kind != KindNbrCoarse {
+			panic(fmt.Sprintf("core: vertex %d: kind %d during neighbor update", ctx.ID(), in.Msg.Kind))
+		}
+		r.nbrCoarse[in.Port] = in.Msg.A
+		got++
+	})
+	if got != deg {
+		panic(fmt.Sprintf("core: vertex %d heard %d of %d neighbors", ctx.ID(), got, deg))
+	}
+
+	// (2) Each base fragment finds its lightest edge leaving the coarse
+	// fragment: O(k) rounds, O(n) messages.
+	best, isFragRoot := fragops.Argmin(ctx, r.st.ParentPort, r.st.ChildPorts,
+		ctx.Round()+r.fragWin, true, r.localCandidate(), &r.winner)
+
+	// (3) Pipelined min-filtering upcast over τ: the root learns the
+	// MWOE of every coarse fragment. O(D + |F̂_j|/b) rounds.
+	var items []bfstree.Item
+	if isFragRoot && best != fragops.Sentinel {
+		items = []bfstree.Item{{Group: r.coarse, W: best[0], U: best[1], V: best[2]}}
+	}
+	mins := r.tau.PipelinedUpcast(items)
+
+	// (4) Root-side merge of the fragment graph, then the STOP/CONTINUE
+	// decision.
+	var pairs []bfstree.Routed
+	stop := int64(0)
+	if r.tau.Root {
+		if len(mins) == 0 {
+			stop = 1
+		} else {
+			pairs = r.mergeAtRoot(mins)
+		}
+	}
+	dec := r.tau.SyncBroadcast(congest.Message{A: stop})
+	if dec.A == 1 {
+		return true
+	}
+
+	// (5) Interval-routed downcast of (F -> new coarse id, chosen edge)
+	// to every base fragment root: O(D + |F|/b) rounds, O(D·|F|) msgs.
+	mine := r.tau.RouteDown(pairs)
+	var payload [3]int64
+	if isFragRoot {
+		if len(mine) != 1 {
+			panic(fmt.Sprintf("core: fragment root %d received %d routed pairs", ctx.ID(), len(mine)))
+		}
+		payload = [3]int64{mine[0].A, mine[0].B, 0}
+	} else if len(mine) != 0 {
+		panic(fmt.Sprintf("core: non-root vertex %d received routed pairs", ctx.ID()))
+	}
+
+	// (6) Broadcast the new identity (and the chosen MWOE) through each
+	// base fragment: O(k) rounds, O(n) messages.
+	pay, _ := fragops.Broadcast(ctx, r.st.ParentPort, r.st.ChildPorts,
+		ctx.Round()+r.fragWin, true, payload)
+	oldCoarse := r.coarse
+	r.coarse = pay[0]
+
+	// (7) The endpoint of the chosen MWOE inside the old coarse
+	// fragment marks the edge and tells the far endpoint: O(1) rounds,
+	// O(|F̂_j|) messages.
+	if a, bb, ok := decodeEdge(pay[1]); ok {
+		other := int64(-1)
+		switch int64(ctx.ID()) {
+		case a:
+			other = bb
+		case bb:
+			other = a
+		}
+		if other >= 0 {
+			if p := r.portTo(other); p >= 0 && r.nbrCoarse[p] != oldCoarse {
+				r.mstPorts[p] = true
+				ctx.Send(p, congest.Message{Kind: KindMSTMark})
+			}
+		}
+	}
+	fragops.Window(ctx, ctx.Round()+2, func(in congest.Inbound) {
+		if in.Msg.Kind != KindMSTMark {
+			panic(fmt.Sprintf("core: vertex %d: kind %d during MST marking", ctx.ID(), in.Msg.Kind))
+		}
+		r.mstPorts[in.Port] = true
+	})
+	return false
+}
+
+// localCandidate returns this vertex's lightest edge leaving its coarse
+// fragment as an argmin key (w, packed(a,b), target-coarse-id), or the
+// sentinel.
+func (r *boruvka) localCandidate() [3]int64 {
+	best := fragops.Sentinel
+	for p := 0; p < r.ctx.Degree(); p++ {
+		if r.nbrCoarse[p] == r.coarse {
+			continue
+		}
+		key := [3]int64{r.ctx.Weight(p), encodeEdge(int64(r.ctx.ID()), r.st.NbrVertexID[p]), r.nbrCoarse[p]}
+		if fragops.KeyLess(key, best) {
+			best = key
+		}
+	}
+	return best
+}
+
+// mergeAtRoot merges the coarse fragment graph along the received
+// MWOEs (Boruvka), relabels every component by its minimum member id,
+// and produces the routed relabel pairs for all base fragments.
+func (r *boruvka) mergeAtRoot(mins []bfstree.Item) []bfstree.Routed {
+	uf := graph.NewUnionFind(int(r.tau.N))
+	chosen := make(map[int64]int64, len(mins)) // old coarse id -> packed MWOE
+	for _, it := range mins {
+		uf.Union(int(it.Group), int(it.V))
+		chosen[it.Group] = it.U
+	}
+	if m := r.cfg.Metrics; m != nil {
+		count := make(map[int64]bool, len(r.fragCoarse))
+		for _, c := range r.fragCoarse {
+			count[c] = true
+		}
+		m.PhaseFragments = append(m.PhaseFragments, len(count))
+	}
+	// New identity of a component: the minimum old coarse id inside it.
+	newID := make(map[int]int64)
+	for _, c := range r.fragCoarse {
+		root := uf.Find(int(c))
+		if cur, ok := newID[root]; !ok || c < cur {
+			newID[root] = c
+		}
+	}
+	pairs := make([]bfstree.Routed, 0, len(r.fragCoarse))
+	for f, c := range r.fragCoarse {
+		edge, hasEdge := chosen[c]
+		if !hasEdge {
+			edge = -1
+		}
+		next := newID[uf.Find(int(c))]
+		pairs = append(pairs, bfstree.Routed{Target: r.fragLabel[f], A: next, B: edge})
+		r.fragCoarse[f] = next
+	}
+	return pairs
+}
+
+// portTo returns the port leading to the neighbor with the given vertex
+// id, or -1.
+func (r *boruvka) portTo(id int64) int {
+	for p, v := range r.st.NbrVertexID {
+		if v == id {
+			return p
+		}
+	}
+	return -1
+}
+
+func sizeHeight(acc, child [3]int64) [3]int64 {
+	acc[0] += child[0]
+	if child[1]+1 > acc[1] {
+		acc[1] = child[1] + 1
+	}
+	return acc
+}
+
+func encodeEdge(a, b int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return a<<32 | b
+}
+
+func decodeEdge(e int64) (a, b int64, ok bool) {
+	if e < 0 {
+		return 0, 0, false
+	}
+	return e >> 32, e & 0xffffffff, true
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

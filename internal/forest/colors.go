@@ -1,0 +1,66 @@
+package forest
+
+// Cole-Vishkin deterministic colour reduction [CV86], executed on the
+// candidate fragment graph G'_i (a rooted forest of fragments). Colours
+// live at fragment roots; the communication that moves parent/child
+// colours between fragment roots is in phase.go. The functions here are
+// the pure per-step colour arithmetic.
+
+// cvIterations is the number of Cole-Vishkin halving steps that reduce
+// 64-bit identifiers to at most 6 colours: 64 bits -> <=127 (7 bits) ->
+// <=13 (4 bits) -> <=7 (3 bits) -> <=5, plus two safety steps. This is
+// the log* n factor of Theorem 4.3 instantiated for 64-bit words
+// (log*(2^64) <= 5).
+const cvIterations = 6
+
+// cvNoParent is the colour stand-in for a missing parent, chosen so it
+// never collides with a real colour during elimination ({0,1,2} phase).
+const cvNoParent int64 = -1
+
+// cvReduceStep performs one Cole-Vishkin step: the new colour encodes
+// the position and value of the lowest bit where own differs from the
+// parent's colour. Adjacent colours stay distinct.
+func cvReduceStep(own, parent int64) int64 {
+	if parent == cvNoParent {
+		// A root pretends its parent has the complement colour in bit
+		// 0, so it keeps a valid differing index.
+		parent = own ^ 1
+	}
+	diff := own ^ parent
+	i := int64(0)
+	for diff&1 == 0 {
+		diff >>= 1
+		i++
+	}
+	return 2*i + (own>>i)&1
+}
+
+// cvShiftDown recolours for the shift-down step: every non-root takes
+// its parent's colour; a root takes the smallest colour in 0..5
+// different from its own. Afterwards all children of a vertex share one
+// colour and the colouring stays proper.
+func cvShiftDown(own, parent int64) int64 {
+	if parent == cvNoParent {
+		if own == 0 {
+			return 1
+		}
+		return 0
+	}
+	return parent
+}
+
+// cvEliminate recolours a vertex of colour bad into {0,1,2}: the
+// smallest colour unused by its parent and by its (monochromatic)
+// children. Vertices of other colours keep theirs.
+func cvEliminate(own, bad, parent, childCommon int64) int64 {
+	if own != bad {
+		return own
+	}
+	for c := int64(0); c <= 2; c++ {
+		if c != parent && c != childCommon {
+			return c
+		}
+	}
+	// Unreachable: two exclusions cannot cover three colours.
+	panic("forest: cvEliminate found no colour")
+}

@@ -1,0 +1,166 @@
+package forest
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCVReduceStepProper(t *testing.T) {
+	// Properness is preserved: own != parent implies new(own) != new(parent).
+	f := func(own, parent uint32, grandRaw uint32) bool {
+		o, p := int64(own), int64(parent)
+		if o == p {
+			return true // precondition: proper colouring
+		}
+		g := int64(grandRaw)
+		if g == p {
+			g = p ^ 1
+		}
+		newOwn := cvReduceStep(o, p)
+		newParent := cvReduceStep(p, g)
+		return newOwn != newParent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCVReduceStepRootCase(t *testing.T) {
+	// A root (no parent) must still get a colour different from all its
+	// children's new colours.
+	for own := int64(0); own < 64; own++ {
+		rootNew := cvReduceStep(own, cvNoParent)
+		if rootNew != 0 && rootNew != 1 {
+			t.Fatalf("root colour %d -> %d, want 0 or 1", own, rootNew)
+		}
+		for child := int64(0); child < 64; child++ {
+			if child == own {
+				continue
+			}
+			if cvReduceStep(child, own) == rootNew {
+				t.Fatalf("child %d of root %d collides at %d", child, own, rootNew)
+			}
+		}
+	}
+}
+
+func TestCVReduceConvergesToSixColors(t *testing.T) {
+	// A chain of cvIterations steps started from arbitrary 63-bit ids
+	// must land in {0..5}. Simulate on a long path.
+	rng := rand.New(rand.NewPCG(7, 9))
+	const n = 400
+	colors := make([]int64, n)
+	seen := make(map[int64]bool, n)
+	for i := range colors {
+		for {
+			c := rng.Int64N(1 << 62)
+			if !seen[c] {
+				seen[c] = true
+				colors[i] = c
+				break
+			}
+		}
+	}
+	for it := 0; it < cvIterations; it++ {
+		next := make([]int64, n)
+		for i := range colors {
+			if i == 0 {
+				next[i] = cvReduceStep(colors[i], cvNoParent)
+			} else {
+				next[i] = cvReduceStep(colors[i], colors[i-1])
+			}
+		}
+		colors = next
+	}
+	for i, c := range colors {
+		if c < 0 || c > 5 {
+			t.Fatalf("colour %d at %d after %d iterations", c, i, cvIterations)
+		}
+		if i > 0 && colors[i] == colors[i-1] {
+			t.Fatalf("adjacent equal colours at %d", i)
+		}
+	}
+}
+
+func TestCVShiftDownAndEliminate(t *testing.T) {
+	// Full 6->3 reduction on a random forest: after three shift-down +
+	// eliminate rounds the colouring is a proper 3-colouring.
+	rng := rand.New(rand.NewPCG(11, 13))
+	const n = 500
+	parent := make([]int, n) // parent index, -1 for roots
+	colors := make([]int64, n)
+	for i := range parent {
+		if i == 0 || rng.IntN(8) == 0 {
+			parent[i] = -1
+		} else {
+			parent[i] = rng.IntN(i)
+		}
+		// A proper 6-colouring to start from.
+		for {
+			c := rng.Int64N(6)
+			if parent[i] == -1 || colors[parent[i]] != c {
+				colors[i] = c
+				break
+			}
+		}
+	}
+	parentColor := func(cols []int64, i int) int64 {
+		if parent[i] == -1 {
+			return cvNoParent
+		}
+		return cols[parent[i]]
+	}
+	childCommon := func(cols []int64, i int) int64 {
+		common := cvNoParent
+		for j := range parent {
+			if parent[j] == i {
+				common = cols[j] // monochromatic after shift-down
+			}
+		}
+		return common
+	}
+	for bad := int64(5); bad >= 3; bad-- {
+		next := make([]int64, n)
+		for i := range colors {
+			next[i] = cvShiftDown(colors[i], parentColor(colors, i))
+		}
+		colors = next
+		// Verify shift-down kept it proper and made siblings equal.
+		for i := range colors {
+			if p := parent[i]; p != -1 && colors[i] == colors[p] {
+				t.Fatalf("shift-down broke properness at %d", i)
+			}
+		}
+		next = make([]int64, n)
+		for i := range colors {
+			next[i] = cvEliminate(colors[i], bad, parentColor(colors, i), childCommon(colors, i))
+		}
+		colors = next
+		for i := range colors {
+			if colors[i] == bad {
+				t.Fatalf("colour %d survived its elimination round at %d", bad, i)
+			}
+			if p := parent[i]; p != -1 && colors[i] == colors[p] {
+				t.Fatalf("eliminate broke properness at %d", i)
+			}
+		}
+	}
+	for i, c := range colors {
+		if c < 0 || c > 2 {
+			t.Fatalf("colour %d at %d after full reduction", c, i)
+		}
+	}
+}
+
+func TestCVEliminateKeepsOthers(t *testing.T) {
+	if got := cvEliminate(1, 5, 0, 2); got != 1 {
+		t.Errorf("cvEliminate recoloured a non-bad vertex: %d", got)
+	}
+	if got := cvEliminate(5, 5, 0, 1); got != 2 {
+		t.Errorf("cvEliminate(5,5,0,1) = %d, want 2", got)
+	}
+	if got := cvEliminate(4, 4, cvNoParent, cvNoParent); got != 0 {
+		t.Errorf("isolated vertex recoloured to %d, want 0", got)
+	}
+}

@@ -1,0 +1,130 @@
+package forest
+
+import (
+	"congestmst/internal/congest"
+	"congestmst/internal/fragops"
+)
+
+// sentinel is an impossible convergecast key: larger than every real
+// (weight, id, id) key.
+var sentinel = fragops.Sentinel
+
+// runner is one vertex's state machine for the Controlled-GHS phases.
+type runner struct {
+	ctx   congest.Context
+	k, t  int
+	trace *Trace
+
+	// Persistent fragment state.
+	fragID   int64
+	parent   int   // fragment-tree parent port, -1 at the root
+	children []int // fragment-tree child ports
+	nbrVid   []int64
+
+	// Per-phase neighbor knowledge (refreshed each phase).
+	nbrFrag []int64
+	nbrPart []bool
+
+	// Root-only knowledge for the current phase.
+	size, height int64
+	participate  bool
+	hasMWOE      bool
+	parentPart   bool // the MWOE target fragment participates
+	mutualWinner bool
+	color        int64
+	matched      bool
+	roleSelector bool
+	candExists   bool
+
+	// Border-vertex state for the current phase.
+	isOwner   bool // this vertex holds the fragment's MWOE
+	ownerPort int
+	bestPort  int           // this vertex's best local outgoing port
+	foreign   map[int]bool  // announce ports: participating child fragments
+	childMat  map[int]bool  // child fragment across port is matched
+	treeCross map[int]bool  // cross ports that became tree edges this phase
+	parentCol int64         // colour received from the parent fragment
+	childCol  map[int]int64 // colours received from child fragments
+	sendUpd   bool          // owner: send the matched-update cross
+	selBorder bool          // this vertex performs the match selection
+
+	// Argmin winner pointers: -2 self, -1 none, >=0 child port.
+	winTmp  int
+	winMWOE int
+
+	fragSelecting bool
+	fragStatus    int64
+	newFragSeen   bool
+}
+
+// Fragment statuses broadcast at the end of the matching stage.
+const (
+	statusUnmatched int64 = 0 // merge out along the MWOE
+	statusSelector  int64 = 1 // centre of a matched pair: initiator
+	statusSelected  int64 = 2 // absorbed by the selecting parent
+	statusIsolated  int64 = 3 // no outgoing edge: initiator, no merge
+)
+
+func newRunner(ctx congest.Context, k int, trace *Trace) *runner {
+	deg := ctx.Degree()
+	r := &runner{
+		ctx:     ctx,
+		k:       k,
+		t:       Phases(k),
+		trace:   trace,
+		fragID:  int64(ctx.ID()),
+		parent:  -1,
+		nbrVid:  make([]int64, deg),
+		nbrFrag: make([]int64, deg),
+		nbrPart: make([]bool, deg),
+	}
+	for p := range r.nbrVid {
+		r.nbrVid[p] = -1
+	}
+	return r
+}
+
+func (r *runner) isRoot() bool { return r.parent == -1 }
+
+func (r *runner) window(end int64, handle func(congest.Inbound)) {
+	fragops.Window(r.ctx, end, handle)
+}
+
+func (r *runner) isChildPort(p int) bool {
+	for _, c := range r.children {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+func keyLess(a, b [3]int64) bool { return fragops.KeyLess(a, b) }
+
+func (r *runner) fragConverge(end int64, active bool, own [3]int64,
+	combine func(acc, child [3]int64) [3]int64) ([3]int64, bool) {
+	return fragops.Converge(r.ctx, r.parent, r.children, end, active, own, combine)
+}
+
+func (r *runner) fragArgmin(end int64, active bool, own [3]int64) ([3]int64, bool) {
+	return fragops.Argmin(r.ctx, r.parent, r.children, end, active, own, &r.winTmp)
+}
+
+func (r *runner) fragBroadcast(end int64, active bool, own [3]int64) ([3]int64, bool) {
+	return fragops.Broadcast(r.ctx, r.parent, r.children, end, active, own)
+}
+
+func (r *runner) winnerDowncast(end int64, initiate bool, winner func(*runner) int, payload [3]int64) ([3]int64, bool) {
+	return fragops.WinnerDowncast(r.ctx, r.parent, end, initiate,
+		func() int { return winner(r) }, payload)
+}
+
+func (r *runner) upPath(end int64, origin bool, payload [3]int64) ([3]int64, bool) {
+	return fragops.UpPath(r.ctx, r.parent, r.children, end, origin, payload)
+}
+
+// participateThreshold is the size bound for phase i: fragments of at
+// most 2^i vertices join F'_i. Size bounds diameter from above, so the
+// paper's diameter criterion and Lemmas 4.1/4.2 carry over (a fragment
+// smaller than 2^i has diameter below 2^i and must participate).
+func participateThreshold(i int) int64 { return int64(1) << uint(i) }

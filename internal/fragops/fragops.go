@@ -1,0 +1,244 @@
+// Package fragops provides window-scheduled communication primitives on
+// MST-fragment trees: convergecast, argmin with winner pointers,
+// broadcast, winner-path downcast, and single-path upcast. They are
+// shared by the Controlled-GHS construction (internal/forest) and the
+// Boruvka-over-τ stage of the main algorithm (internal/core).
+//
+// All primitives are driven by absolute round deadlines: every vertex
+// of the graph calls the same primitive in the same round with a common
+// `end`, and returns exactly at round `end`. A vertex whose fragment is
+// not active simply drains its (empty) window, so global alignment is
+// preserved without any coordination traffic.
+package fragops
+
+import (
+	"fmt"
+
+	"congestmst/internal/congest"
+)
+
+// Message kinds used on fragment trees (range 20-23, shared with the
+// forest package's historical numbering).
+const (
+	KindConv   uint8 = 20 // convergecast payload: A,B,C
+	KindBcast  uint8 = 21 // broadcast payload: A,B,C
+	KindWinner uint8 = 22 // downcast along argmin winner pointers: A,B,C
+	KindUpPath uint8 = 23 // single-path upcast to the fragment root: A,B,C
+)
+
+// Sentinel is an impossible argmin key, larger than any real
+// (weight, id, id) key.
+var Sentinel = [3]int64{1<<63 - 1, 1<<63 - 1, 1<<63 - 1}
+
+// KeyLess compares two 3-word keys lexicographically.
+func KeyLess(a, b [3]int64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// Window drains deliveries until the absolute round end, dispatching
+// each inbound message to handle. On return the vertex is at round end.
+func Window(ctx congest.Context, end int64, handle func(congest.Inbound)) {
+	for ctx.Round() < end {
+		for _, in := range ctx.RecvUntil(end) {
+			handle(in)
+		}
+	}
+}
+
+// Drain asserts that nothing arrives until end.
+func Drain(ctx congest.Context, end int64) {
+	Window(ctx, end, func(in congest.Inbound) {
+		failf("vertex %d: unexpected kind %d on port %d at round %d",
+			ctx.ID(), in.Msg.Kind, in.Port, ctx.Round())
+	})
+}
+
+func isChild(children []int, p int) bool {
+	for _, c := range children {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Converge runs one fragment-internal convergecast inside [now, end):
+// every vertex of an active fragment contributes own; combine folds a
+// child's reported value into the accumulator. The fragment root
+// returns (combined, true); everyone else (partial, false).
+func Converge(ctx congest.Context, parent int, children []int, end int64, active bool,
+	own [3]int64, combine func(acc, child [3]int64) [3]int64) ([3]int64, bool) {
+	if !active {
+		Drain(ctx, end)
+		return own, false
+	}
+	acc := own
+	pend := len(children)
+	sent := false
+	maybeSend := func() {
+		if pend == 0 && parent >= 0 && !sent {
+			sent = true
+			ctx.Send(parent, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
+		}
+	}
+	maybeSend()
+	Window(ctx, end, func(in congest.Inbound) {
+		if in.Msg.Kind != KindConv || !isChild(children, in.Port) {
+			failf("vertex %d: kind %d from port %d during convergecast", ctx.ID(), in.Msg.Kind, in.Port)
+		}
+		acc = combine(acc, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C})
+		pend--
+		maybeSend()
+	})
+	if pend != 0 {
+		failf("vertex %d: convergecast missed %d children (window too small)", ctx.ID(), pend)
+	}
+	return acc, parent < 0
+}
+
+// Argmin is Converge specialised to lexicographic minimisation. It
+// records a winner pointer into *winner: -2 if this vertex's own key
+// won locally, -1 if no candidate reached here, or the child port whose
+// subtree supplied the local minimum. A vertex with no candidate passes
+// the Sentinel.
+func Argmin(ctx congest.Context, parent int, children []int, end int64, active bool,
+	own [3]int64, winner *int) ([3]int64, bool) {
+	*winner = -1
+	if own != Sentinel {
+		*winner = -2
+	}
+	if !active {
+		Drain(ctx, end)
+		return Sentinel, false
+	}
+	acc := own
+	pend := len(children)
+	sent := false
+	maybeSend := func() {
+		if pend == 0 && parent >= 0 && !sent {
+			sent = true
+			ctx.Send(parent, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
+		}
+	}
+	maybeSend()
+	Window(ctx, end, func(in congest.Inbound) {
+		if in.Msg.Kind != KindConv || !isChild(children, in.Port) {
+			failf("vertex %d: kind %d from port %d during argmin", ctx.ID(), in.Msg.Kind, in.Port)
+		}
+		got := [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
+		if KeyLess(got, acc) {
+			acc = got
+			*winner = in.Port
+		}
+		pend--
+		maybeSend()
+	})
+	if pend != 0 {
+		failf("vertex %d: argmin missed %d children", ctx.ID(), pend)
+	}
+	return acc, parent < 0
+}
+
+// Broadcast distributes a 3-word payload from the fragment root inside
+// [now, end), returning the payload and whether one was received (true
+// everywhere in active fragments).
+func Broadcast(ctx congest.Context, parent int, children []int, end int64, active bool,
+	own [3]int64) ([3]int64, bool) {
+	if active && parent < 0 {
+		for _, c := range children {
+			ctx.Send(c, congest.Message{Kind: KindBcast, A: own[0], B: own[1], C: own[2]})
+		}
+		Drain(ctx, end)
+		return own, true
+	}
+	var got [3]int64
+	received := false
+	Window(ctx, end, func(in congest.Inbound) {
+		if in.Msg.Kind != KindBcast || in.Port != parent || received {
+			failf("vertex %d: kind %d from port %d during broadcast", ctx.ID(), in.Msg.Kind, in.Port)
+		}
+		received = true
+		got = [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
+		for _, c := range children {
+			ctx.Send(c, congest.Message{Kind: KindBcast, A: got[0], B: got[1], C: got[2]})
+		}
+	})
+	if active && !received {
+		failf("vertex %d: broadcast never arrived", ctx.ID())
+	}
+	return got, received
+}
+
+// WinnerDowncast follows argmin winner pointers from the fragment root
+// to the winning vertex inside [now, end). initiate must hold only at
+// roots of fragments that start a downcast; winner must read this
+// vertex's recorded pointer. It reports whether this vertex is the
+// target.
+func WinnerDowncast(ctx congest.Context, parent int, end int64, initiate bool,
+	winner func() int, payload [3]int64) ([3]int64, bool) {
+	target := false
+	var got [3]int64
+	if initiate {
+		switch w := winner(); {
+		case w == -2:
+			target, got = true, payload
+		case w >= 0:
+			ctx.Send(w, congest.Message{Kind: KindWinner, A: payload[0], B: payload[1], C: payload[2]})
+		default:
+			failf("vertex %d: downcast initiated with no winner", ctx.ID())
+		}
+	}
+	Window(ctx, end, func(in congest.Inbound) {
+		if in.Msg.Kind != KindWinner || in.Port != parent {
+			failf("vertex %d: kind %d from port %d during winner downcast", ctx.ID(), in.Msg.Kind, in.Port)
+		}
+		switch w := winner(); {
+		case w == -2:
+			target, got = true, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
+		case w >= 0:
+			ctx.Send(w, in.Msg)
+		default:
+			failf("vertex %d: winner downcast hit a dead end", ctx.ID())
+		}
+	})
+	return got, target
+}
+
+// UpPath sends a 3-word payload from one origin vertex up the fragment
+// tree to the root inside [now, end). The root returns (payload, true)
+// if an origin existed in its fragment.
+func UpPath(ctx congest.Context, parent int, children []int, end int64, origin bool,
+	payload [3]int64) ([3]int64, bool) {
+	received := false
+	var got [3]int64
+	deliver := func(m [3]int64) {
+		if parent < 0 {
+			if received {
+				failf("vertex %d: two UpPath payloads in one fragment", ctx.ID())
+			}
+			received, got = true, m
+			return
+		}
+		ctx.Send(parent, congest.Message{Kind: KindUpPath, A: m[0], B: m[1], C: m[2]})
+	}
+	if origin {
+		deliver(payload)
+	}
+	Window(ctx, end, func(in congest.Inbound) {
+		if in.Msg.Kind != KindUpPath || !isChild(children, in.Port) {
+			failf("vertex %d: kind %d from port %d during UpPath", ctx.ID(), in.Msg.Kind, in.Port)
+		}
+		deliver([3]int64{in.Msg.A, in.Msg.B, in.Msg.C})
+	})
+	return got, received
+}
+
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf("fragops: "+format, args...))
+}

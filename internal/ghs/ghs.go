@@ -1,0 +1,378 @@
+// Package ghs implements the classical distributed MST algorithm of
+// Gallager, Humblet and Spira (GHS'83) as the paper's historical
+// baseline: O(n log n) time and O(m + n log n) messages.
+//
+// The port follows the original pseudocode: fragments carry a (level,
+// name) pair, where the name is the identity of the fragment's core
+// edge; vertices test their minimum basic edge against the fragment
+// name, reports converge on the core, and fragments merge or absorb
+// via Connect. GHS is an asynchronous algorithm, so running it under
+// the synchronous engine (with per-port output queues and message
+// requeueing for its wait conditions) is just one admissible execution.
+//
+// Deviation from the clean-network model: the original algorithm
+// assumes distinct edge weights. We use the repository-wide unique key
+// (w, min id, max id), which requires endpoints to learn neighbor
+// identities first; the single exchange that does so costs one round
+// and 2m messages and is included in the measured complexity.
+package ghs
+
+import (
+	"fmt"
+
+	"congestmst/internal/congest"
+)
+
+// Message kinds (range 80-99).
+const (
+	KindHello      uint8 = 80 // neighbor identity exchange: A = vertex id
+	KindConnect    uint8 = 81 // A = level
+	KindInitiate   uint8 = 82 // A = level, B = name w, C = name edge, D = state
+	KindTest       uint8 = 83 // A = level, B = name w, C = name edge
+	KindAccept     uint8 = 84
+	KindReject     uint8 = 85
+	KindReport     uint8 = 86 // B = best w, C = best edge (INF if none)
+	KindChangeRoot uint8 = 87
+	KindHalt       uint8 = 88
+)
+
+// Edge states.
+const (
+	basic    int8 = 0
+	branch   int8 = 1
+	rejected int8 = 2
+)
+
+// Node states.
+const (
+	stateFind  int64 = 0
+	stateFound int64 = 1
+)
+
+// inf is the "no outgoing edge" report weight.
+var inf = [2]int64{1<<63 - 1, 1<<63 - 1}
+
+// Result is one vertex's view of the computed MST.
+type Result struct {
+	// MSTPorts lists the ports of this vertex's incident MST edges
+	// (the Branch edges at termination).
+	MSTPorts []int
+}
+
+type node struct {
+	ctx congest.Context
+
+	nbrID []int64
+	se    []int8
+
+	sn        int64
+	fn        [2]int64 // fragment name: core edge key (w, packed ids)
+	ln        int64
+	bestEdge  int
+	bestWt    [2]int64
+	testEdge  int
+	inBranch  int
+	findCount int
+
+	pending []congest.Inbound
+	outQ    [][]congest.Message
+	halted  bool
+}
+
+// Run executes GHS on this vertex and returns its view of the MST.
+// Every vertex must call Run in round 0.
+func Run(ctx congest.Context) *Result {
+	deg := ctx.Degree()
+	n := &node{
+		ctx:      ctx,
+		nbrID:    make([]int64, deg),
+		se:       make([]int8, deg),
+		bestEdge: -1,
+		testEdge: -1,
+		inBranch: -1,
+		outQ:     make([][]congest.Message, deg),
+	}
+	if deg == 0 {
+		return &Result{} // isolated vertex: empty MST
+	}
+	n.hello()
+	n.wakeup()
+	n.mainLoop()
+	var ports []int
+	for p, s := range n.se {
+		if s == branch {
+			ports = append(ports, p)
+		}
+	}
+	return &Result{MSTPorts: ports}
+}
+
+// hello exchanges vertex identities so edge keys are comparable.
+func (n *node) hello() {
+	deg := n.ctx.Degree()
+	for p := 0; p < deg; p++ {
+		n.ctx.Send(p, congest.Message{Kind: KindHello, A: int64(n.ctx.ID())})
+	}
+	got := 0
+	for got < deg {
+		for _, in := range n.ctx.Recv() {
+			if in.Msg.Kind != KindHello {
+				// An eager neighbor already started the protocol; defer.
+				n.pending = append(n.pending, in)
+				continue
+			}
+			n.nbrID[in.Port] = in.Msg.A
+			got++
+		}
+	}
+}
+
+// key returns the unique weight key of the edge behind port p.
+func (n *node) key(p int) [2]int64 {
+	a, b := int64(n.ctx.ID()), n.nbrID[p]
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int64{n.ctx.Weight(p), a<<32 | b}
+}
+
+func keyLess(a, b [2]int64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// minBasic returns the lightest Basic port, or -1.
+func (n *node) minBasic() int {
+	best, bestKey := -1, inf
+	for p, s := range n.se {
+		if s != basic {
+			continue
+		}
+		if k := n.key(p); keyLess(k, bestKey) {
+			best, bestKey = p, k
+		}
+	}
+	return best
+}
+
+func (n *node) send(p int, m congest.Message) {
+	n.outQ[p] = append(n.outQ[p], m)
+}
+
+// wakeup is the spontaneous start: connect over the lightest edge.
+func (n *node) wakeup() {
+	m := n.minBasic()
+	n.se[m] = branch
+	n.ln = 0
+	n.sn = stateFound
+	n.findCount = 0
+	n.send(m, congest.Message{Kind: KindConnect, A: 0})
+}
+
+func (n *node) mainLoop() {
+	for {
+		// Drain the per-port output queues, respecting bandwidth.
+		backlog := false
+		b := n.ctx.Bandwidth()
+		for p := range n.outQ {
+			sent := 0
+			for len(n.outQ[p]) > 0 && sent < b {
+				n.ctx.Send(p, n.outQ[p][0])
+				n.outQ[p] = n.outQ[p][1:]
+				sent++
+			}
+			if len(n.outQ[p]) > 0 {
+				backlog = true
+			}
+		}
+		if n.halted && !backlog {
+			return
+		}
+		// A requeued message's wait condition (level, edge state) can
+		// only change through another inbound message, so a vertex with
+		// pending work but no backlog parks until something arrives
+		// instead of polling every round.
+		var inbox []congest.Inbound
+		if backlog || n.halted {
+			inbox = n.ctx.Step()
+		} else {
+			inbox = n.ctx.Recv()
+		}
+		// Process to a fixpoint: a message handled late in the batch may
+		// enable one requeued earlier in it.
+		work := append(n.pending, inbox...)
+		n.pending = nil
+		for {
+			progressed := false
+			var still []congest.Inbound
+			for _, in := range work {
+				if n.handle(in) {
+					progressed = true
+				} else {
+					still = append(still, in)
+				}
+			}
+			work = still
+			if !progressed || len(work) == 0 {
+				break
+			}
+		}
+		n.pending = work
+	}
+}
+
+// handle processes one message, returning false if it must wait.
+func (n *node) handle(in congest.Inbound) bool {
+	if n.halted {
+		return true // late traffic is irrelevant after Halt
+	}
+	j, m := in.Port, in.Msg
+	switch m.Kind {
+	case KindConnect:
+		if m.A < n.ln {
+			// Absorb the lower-level fragment.
+			n.se[j] = branch
+			n.send(j, congest.Message{Kind: KindInitiate, A: n.ln, B: n.fn[0], C: n.fn[1], D: n.sn})
+			if n.sn == stateFind {
+				n.findCount++
+			}
+			return true
+		}
+		if n.se[j] == basic {
+			return false // wait until our own level catches up
+		}
+		// Merge: the shared edge becomes the new, higher-level core.
+		k := n.key(j)
+		n.send(j, congest.Message{Kind: KindInitiate, A: n.ln + 1, B: k[0], C: k[1], D: stateFind})
+		return true
+
+	case KindInitiate:
+		n.ln, n.fn, n.sn = m.A, [2]int64{m.B, m.C}, m.D
+		n.inBranch = j
+		n.bestEdge, n.bestWt = -1, inf
+		for p, s := range n.se {
+			if p == j || s != branch {
+				continue
+			}
+			n.send(p, congest.Message{Kind: KindInitiate, A: m.A, B: m.B, C: m.C, D: m.D})
+			if m.D == stateFind {
+				n.findCount++
+			}
+		}
+		if m.D == stateFind {
+			n.test()
+		}
+		return true
+
+	case KindTest:
+		if m.A > n.ln {
+			return false // wait: their fragment is ahead of ours
+		}
+		if m.B != n.fn[0] || m.C != n.fn[1] {
+			n.send(j, congest.Message{Kind: KindAccept})
+			return true
+		}
+		if n.se[j] == basic {
+			n.se[j] = rejected
+		}
+		if n.testEdge != j {
+			n.send(j, congest.Message{Kind: KindReject})
+		} else {
+			n.test()
+		}
+		return true
+
+	case KindAccept:
+		n.testEdge = -1
+		if k := n.key(j); keyLess(k, n.bestWt) {
+			n.bestEdge, n.bestWt = j, k
+		}
+		n.report()
+		return true
+
+	case KindReject:
+		if n.se[j] == basic {
+			n.se[j] = rejected
+		}
+		n.test()
+		return true
+
+	case KindReport:
+		w := [2]int64{m.B, m.C}
+		if j != n.inBranch {
+			n.findCount--
+			if keyLess(w, n.bestWt) {
+				n.bestWt, n.bestEdge = w, j
+			}
+			n.report()
+			return true
+		}
+		if n.sn == stateFind {
+			return false // wait for our own search to finish
+		}
+		if keyLess(n.bestWt, w) {
+			// Our side of the core holds the lighter outgoing edge.
+			n.changeRoot()
+			return true
+		}
+		if w == inf && n.bestWt == inf {
+			n.halt()
+		}
+		return true
+
+	case KindChangeRoot:
+		n.changeRoot()
+		return true
+
+	case KindHalt:
+		n.halted = true
+		for p, s := range n.se {
+			if p != j && s == branch {
+				n.send(p, congest.Message{Kind: KindHalt})
+			}
+		}
+		return true
+
+	default:
+		panic(fmt.Sprintf("ghs: vertex %d: unexpected kind %d", n.ctx.ID(), m.Kind))
+	}
+}
+
+func (n *node) test() {
+	if p := n.minBasic(); p >= 0 {
+		n.testEdge = p
+		n.send(p, congest.Message{Kind: KindTest, A: n.ln, B: n.fn[0], C: n.fn[1]})
+		return
+	}
+	n.testEdge = -1
+	n.report()
+}
+
+func (n *node) report() {
+	if n.findCount == 0 && n.testEdge == -1 {
+		n.sn = stateFound
+		n.send(n.inBranch, congest.Message{Kind: KindReport, B: n.bestWt[0], C: n.bestWt[1]})
+	}
+}
+
+func (n *node) changeRoot() {
+	if n.se[n.bestEdge] == branch {
+		n.send(n.bestEdge, congest.Message{Kind: KindChangeRoot})
+		return
+	}
+	n.send(n.bestEdge, congest.Message{Kind: KindConnect, A: n.ln})
+	n.se[n.bestEdge] = branch
+}
+
+// halt ends the protocol: this core vertex saw Report(inf) from both
+// sides of the core, so no outgoing edge exists anywhere.
+func (n *node) halt() {
+	n.halted = true
+	for p, s := range n.se {
+		if s == branch {
+			n.send(p, congest.Message{Kind: KindHalt})
+		}
+	}
+}

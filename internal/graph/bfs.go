@@ -1,0 +1,75 @@
+package graph
+
+// BFS returns the hop distance from src to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[v] {
+			if dist[a.To] < 0 {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum hop distance from src to any vertex.
+// It returns -1 if some vertex is unreachable.
+func (g *Graph) Eccentricity(src int) int {
+	ecc := 0
+	for _, d := range g.BFS(src) {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter via all-pairs BFS (O(n·m)).
+// Use DiameterEstimate for large graphs. Returns -1 if disconnected.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		e := g.Eccentricity(v)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterEstimate returns a hop-diameter estimate d with
+// D/2 <= d <= D, computed by a double BFS sweep (eccentricity of the
+// farthest vertex from vertex 0). Returns -1 if disconnected.
+func (g *Graph) DiameterEstimate() int {
+	if g.n == 0 {
+		return 0
+	}
+	dist := g.BFS(0)
+	far, best := 0, 0
+	for v, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > best {
+			best, far = d, v
+		}
+	}
+	return g.Eccentricity(far)
+}

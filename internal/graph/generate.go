@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// WeightMode controls how generators assign edge weights.
+type WeightMode int
+
+const (
+	// WeightsDistinct assigns a random permutation of 1..m, so weights
+	// are pairwise distinct. The default.
+	WeightsDistinct WeightMode = iota + 1
+	// WeightsRandom assigns independent uniform weights in [1, 10^9];
+	// ties are possible and resolved by the lexicographic edge order.
+	WeightsRandom
+	// WeightsUnit assigns weight 1 to every edge, maximally stressing
+	// the tie-breaking rule.
+	WeightsUnit
+)
+
+// GenOptions parameterizes the random parts of a generator. The zero
+// value means seed 0 and WeightsDistinct.
+type GenOptions struct {
+	Seed    uint64
+	Weights WeightMode
+}
+
+func (o GenOptions) rng() *rand.Rand {
+	return rand.New(rand.NewPCG(o.Seed, o.Seed^0x9e3779b97f4a7c15))
+}
+
+func (o GenOptions) weights() WeightMode {
+	if o.Weights == 0 {
+		return WeightsDistinct
+	}
+	return o.Weights
+}
+
+// assignWeights overwrites builder edge weights according to the mode.
+func assignWeights(b *Builder, o GenOptions) {
+	rng := o.rng()
+	switch o.weights() {
+	case WeightsUnit:
+		for i := range b.edges {
+			b.edges[i].W = 1
+		}
+	case WeightsRandom:
+		for i := range b.edges {
+			b.edges[i].W = 1 + rng.Int64N(1_000_000_000)
+		}
+	default: // WeightsDistinct
+		perm := rng.Perm(len(b.edges))
+		for i := range b.edges {
+			b.edges[i].W = int64(perm[i] + 1)
+		}
+	}
+}
+
+// Path returns the path 0-1-2-...-(n-1). Diameter n-1.
+func Path(n int, o GenOptions) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}
+
+// Ring returns the cycle on n >= 3 vertices. Diameter floor(n/2).
+func Ring(n int, o GenOptions) *Graph {
+	if n < 3 {
+		panic("graph: Ring requires n >= 3")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n, 1)
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}
+
+// Grid returns the rows x cols grid graph. Diameter rows+cols-2.
+func Grid(rows, cols int, o GenOptions) *Graph {
+	n := rows * cols
+	b := NewBuilder(n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}
+
+// Complete returns the complete graph K_n. Diameter 1.
+func Complete(n int, o GenOptions) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}
+
+// Star returns the star with center 0 and n-1 leaves. Diameter 2.
+func Star(n int, o GenOptions) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}
+
+// BinaryTree returns the complete-ish binary tree on n vertices where
+// vertex v has children 2v+1 and 2v+2. Diameter O(log n).
+func BinaryTree(n int, o GenOptions) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge((v-1)/2, v, 1)
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}
+
+// Lollipop returns a clique on cliqueSize vertices with a path of
+// tailLen extra vertices attached to vertex 0: a dense low-diameter core
+// with a long sparse tail. Diameter tailLen + 1 (for cliqueSize >= 2).
+func Lollipop(cliqueSize, tailLen int, o GenOptions) *Graph {
+	n := cliqueSize + tailLen
+	b := NewBuilder(n)
+	for u := 0; u < cliqueSize; u++ {
+		for v := u + 1; v < cliqueSize; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	prev := 0
+	for i := 0; i < tailLen; i++ {
+		v := cliqueSize + i
+		b.AddEdge(prev, v, 1)
+		prev = v
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}
+
+// RandomConnected returns a connected random graph with n vertices and
+// exactly m edges: a random recursive spanning tree plus m-(n-1) distinct
+// random chords. It returns an error if m is out of range.
+func RandomConnected(n, m int, o GenOptions) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: RandomConnected requires n >= 1, got %d", n)
+	}
+	maxM := n * (n - 1) / 2
+	if m < n-1 || m > maxM {
+		return nil, fmt.Errorf("graph: RandomConnected(n=%d) requires %d <= m <= %d, got %d", n, n-1, maxM, m)
+	}
+	rng := o.rng()
+	b := NewBuilder(n)
+	seen := make(map[[2]int]struct{}, m)
+	add := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v, 1)
+		return true
+	}
+	// Random recursive tree over a random vertex ordering: connected by
+	// construction, expected diameter O(log n).
+	order := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(order[i], order[rng.IntN(i)])
+	}
+	for len(seen) < m {
+		add(rng.IntN(n), rng.IntN(n))
+	}
+	assignWeights(b, o)
+	return b.Graph()
+}
+
+// PathMST returns a low-diameter graph whose unique MST is the
+// Hamiltonian path 0-1-...-(n-1) with strictly increasing weights, plus
+// `extra` heavier random chords. This is the adversarial workload for
+// GHS-style algorithms: fragments can only grow by absorbing one path
+// vertex at a time (Θ(n) time), while the hop diameter stays
+// O(log n), so BFS-tree-based algorithms finish in O~(sqrt n) rounds.
+func PathMST(n, extra int, o GenOptions) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: PathMST requires n >= 2, got %d", n)
+	}
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extra < 0 || extra > maxExtra {
+		return nil, fmt.Errorf("graph: PathMST(n=%d) requires 0 <= extra <= %d, got %d", n, maxExtra, extra)
+	}
+	rng := o.rng()
+	b := NewBuilder(n)
+	seen := make(map[[2]int]struct{}, n-1+extra)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1, int64(v+1))
+		seen[[2]int{v, v + 1}] = struct{}{}
+	}
+	w := int64(n + 1)
+	for len(seen) < n-1+extra {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v, w)
+		w++
+	}
+	return b.Graph()
+}
+
+// Cylinder returns a cols-long cycle of rows-size paths glued side by
+// side (a grid wrapped in one dimension): diameter ~ rows + cols/2.
+// Useful for sweeping the diameter at roughly constant n and m.
+func Cylinder(rows, cols int, o GenOptions) *Graph {
+	if cols < 3 {
+		panic("graph: Cylinder requires cols >= 3")
+	}
+	n := rows * cols
+	b := NewBuilder(n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols), 1)
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	assignWeights(b, o)
+	return b.MustGraph()
+}

@@ -1,0 +1,57 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression. The zero value is not usable; construct with NewUnionFind.
+type UnionFind struct {
+	parent []int
+	rank   []int8
+	count  int
+}
+
+// NewUnionFind returns n singleton sets {0}, {1}, ..., {n-1}.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of x and y and reports whether they were distinct.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }

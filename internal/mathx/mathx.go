@@ -1,0 +1,87 @@
+// Package mathx provides the small integer helpers used throughout the
+// repository: ceil(log2), the iterated logarithm log*, and integer square
+// roots. All functions are pure and allocation-free.
+package mathx
+
+// Log2Ceil returns ceil(log2(x)) for x >= 1, and 0 for x <= 1.
+func Log2Ceil(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	k, v := 0, 1
+	for v < x {
+		v <<= 1
+		k++
+	}
+	return k
+}
+
+// Log2Floor returns floor(log2(x)) for x >= 1, and 0 for x <= 1.
+func Log2Floor(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// LogStar returns the iterated logarithm log*(x): the number of times log2
+// must be applied to x before the result is at most 1. LogStar(1) = 0,
+// LogStar(2) = 1, LogStar(4) = 2, LogStar(16) = 3, LogStar(65536) = 4.
+func LogStar(x int) int {
+	n := 0
+	for x > 1 {
+		// One application of ceil(log2); counting the ceiling keeps
+		// LogStar monotone and matches the textbook recurrence.
+		x = Log2Ceil(x)
+		n++
+	}
+	return n
+}
+
+// ISqrt returns floor(sqrt(x)) for x >= 0.
+func ISqrt(x int) int {
+	if x < 0 {
+		return 0
+	}
+	if x < 2 {
+		return x
+	}
+	r := x
+	y := (r + 1) / 2
+	for y < r {
+		r = y
+		y = (r + x/r) / 2
+	}
+	return r
+}
+
+// ISqrtCeil returns ceil(sqrt(x)) for x >= 0.
+func ISqrtCeil(x int) int {
+	r := ISqrt(x)
+	if r*r < x {
+		r++
+	}
+	return r
+}
+
+// Min returns the smaller of a and b. Kept for call sites predating the
+// builtin so intent stays explicit in complexity formulas.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2Ceil(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := Log2Ceil(tt.in); got != tt.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLog2Floor(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := Log2Floor(tt.in); got != tt.want {
+			t.Errorf("Log2Floor(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 3}, {17, 4}, {65536, 4}, {65537, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.in); got != tt.want {
+			t.Errorf("LogStar(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestISqrt(t *testing.T) {
+	for x := 0; x <= 10000; x++ {
+		want := int(math.Sqrt(float64(x)))
+		// Guard against float rounding at perfect squares.
+		for (want+1)*(want+1) <= x {
+			want++
+		}
+		for want*want > x {
+			want--
+		}
+		if got := ISqrt(x); got != want {
+			t.Fatalf("ISqrt(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestISqrtProperty(t *testing.T) {
+	f := func(x uint32) bool {
+		v := int(x)
+		r := ISqrt(v)
+		return r*r <= v && (r+1)*(r+1) > v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestISqrtCeil(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {4, 2}, {5, 3}, {9, 3}, {10, 4},
+	}
+	for _, tt := range tests {
+		if got := ISqrtCeil(tt.in); got != tt.want {
+			t.Errorf("ISqrtCeil(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Min/Max broken")
+	}
+}

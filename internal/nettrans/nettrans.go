@@ -1,0 +1,465 @@
+// Package nettrans runs the repository's CONGEST algorithms over real
+// TCP connections instead of the in-process simulator, demonstrating
+// that they are transport-independent: every vertex is a goroutine
+// owning one TCP connection per incident edge (loopback), and the
+// synchronous rounds of the model are realized by an alpha-synchronizer
+// — each vertex ends its round by flushing its messages followed by an
+// end-of-round marker on every edge, and starts the next round once it
+// has the marker from every neighbor.
+//
+// The data plane (all algorithm messages) is genuinely TCP. A small
+// in-process control plane handles only lifecycle: collecting "my
+// program returned at round R" notices and broadcasting the common
+// stop round, which stands in for the operator of a real deployment.
+//
+// Unlike the simulator, rounds here cost real work whether or not
+// anything is sent (every edge carries a marker every round), so this
+// transport is for correctness demonstrations at small n, not for the
+// complexity measurements (those come from internal/congest, which
+// counts the same rounds without paying wall-clock for idle ones).
+package nettrans
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"congestmst/internal/congest"
+	"congestmst/internal/graph"
+)
+
+// Stats reports a completed networked run.
+type Stats struct {
+	// Rounds is the largest round any vertex reached before the common
+	// stop round.
+	Rounds int64
+	// Messages counts algorithm messages sent (end-of-round markers
+	// excluded: they are the synchronizer's overhead, not the
+	// algorithm's).
+	Messages int64
+}
+
+// frame types on the wire.
+const (
+	frameMsg byte = 0
+	frameEOR byte = 1
+	frameFin byte = 2 // sender has stopped; all its future rounds are implicit
+)
+
+// frameSize is the fixed wire size: type, kind, round, A, B, C, D.
+const frameSize = 1 + 1 + 8 + 8*4
+
+// Run executes program on every vertex of g over TCP loopback and
+// blocks until all vertices finish. The program receives a
+// congest.Context, so any algorithm in this repository runs unchanged.
+func Run(g *graph.Graph, bandwidth int, program func(congest.Context)) (*Stats, error) {
+	if bandwidth <= 0 {
+		bandwidth = 1
+	}
+	n := g.N()
+	nodes := make([]*Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = newNode(g, v, bandwidth)
+	}
+	if err := connect(g, nodes); err != nil {
+		return nil, err
+	}
+
+	ctl := &controller{
+		done:    make(chan struct{}, n),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}, n),
+		release: make(chan struct{}),
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(nd *Node) {
+			defer wg.Done()
+			err := nd.run(program, ctl)
+			errs[nd.id] = err
+			ctl.stopped <- struct{}{}
+			if err == nil {
+				// Hold the sockets open until everyone has stopped
+				// reading, so no tail frames are lost to a reset.
+				<-ctl.release
+			}
+			nd.closeConns()
+		}(nodes[v])
+	}
+
+	// Lifecycle: once every program has returned, permit shutdown (the
+	// FIN handshake below does the rest), and release the sockets once
+	// all vertices stopped reading.
+	go func() {
+		for i := 0; i < n; i++ {
+			<-ctl.done
+		}
+		close(ctl.stop)
+		for i := 0; i < n; i++ {
+			<-ctl.stopped
+		}
+		close(ctl.release)
+	}()
+
+	wg.Wait()
+	stats := &Stats{}
+	for _, nd := range nodes {
+		if nd.round > stats.Rounds {
+			stats.Rounds = nd.round
+		}
+		stats.Messages += nd.sentTotal
+	}
+	return stats, errors.Join(errs...)
+}
+
+type controller struct {
+	done    chan struct{}
+	stop    chan struct{}
+	stopped chan struct{}
+	release chan struct{}
+}
+
+// peer is one TCP edge endpoint.
+type peer struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Node implements congest.Context over TCP connections.
+type Node struct {
+	g         *graph.Graph
+	id        int
+	bandwidth int
+
+	peers   []*peer // per port
+	peerFin []bool  // peer has stopped; its rounds are implicit
+	round   int64
+
+	outbox    [][]congest.Message // per port, this round
+	inbox     []congest.Inbound   // delivered this round
+	sentTotal int64
+}
+
+var _ congest.Context = (*Node)(nil)
+
+func newNode(g *graph.Graph, id, bandwidth int) *Node {
+	deg := g.Degree(id)
+	return &Node{
+		g:         g,
+		id:        id,
+		bandwidth: bandwidth,
+		peers:     make([]*peer, deg),
+		peerFin:   make([]bool, deg),
+		outbox:    make([][]congest.Message, deg),
+	}
+}
+
+// connect establishes one TCP connection per graph edge: every vertex
+// listens, and the higher-id endpoint dials the lower, identifying
+// itself with an 8-byte hello.
+func connect(g *graph.Graph, nodes []*Node) error {
+	n := g.N()
+	listeners := make([]net.Listener, n)
+	for v := 0; v < n; v++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("nettrans: listen for vertex %d: %w", v, err)
+		}
+		listeners[v] = l
+		defer l.Close()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2*n)
+	// Acceptors: vertex v expects one dial from every higher-id neighbor.
+	for v := 0; v < n; v++ {
+		expected := 0
+		for _, a := range g.Adj(v) {
+			if a.To > v {
+				expected++
+			}
+		}
+		wg.Add(1)
+		go func(v, expected int) {
+			defer wg.Done()
+			for i := 0; i < expected; i++ {
+				conn, err := listeners[v].Accept()
+				if err != nil {
+					errs[v] = err
+					return
+				}
+				var hello [8]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					errs[v] = err
+					return
+				}
+				from := int(binary.LittleEndian.Uint64(hello[:]))
+				port := portTo(g, v, from)
+				if port < 0 {
+					errs[v] = fmt.Errorf("nettrans: vertex %d: hello from non-neighbor %d", v, from)
+					return
+				}
+				nodes[v].peers[port] = wrap(conn)
+			}
+		}(v, expected)
+	}
+	// Dialers: vertex v dials every lower-id neighbor.
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			for port, a := range g.Adj(v) {
+				if a.To > v {
+					continue
+				}
+				conn, err := net.Dial("tcp", listeners[a.To].Addr().String())
+				if err != nil {
+					errs[n+v] = err
+					return
+				}
+				var hello [8]byte
+				binary.LittleEndian.PutUint64(hello[:], uint64(v))
+				if _, err := conn.Write(hello[:]); err != nil {
+					errs[n+v] = err
+					return
+				}
+				nodes[v].peers[port] = wrap(conn)
+			}
+		}(v)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func wrap(conn net.Conn) *peer {
+	return &peer{conn: conn, r: bufio.NewReaderSize(conn, 1<<14), w: bufio.NewWriterSize(conn, 1<<14)}
+}
+
+func portTo(g *graph.Graph, v, to int) int {
+	for p, a := range g.Adj(v) {
+		if a.To == to {
+			return p
+		}
+	}
+	return -1
+}
+
+// run executes the program, keeps the synchronizer alive (marker
+// echoes) until every program has returned, then performs the FIN
+// handshake. On any failure it closes its connections immediately so
+// blocked neighbors unwind too.
+func (nd *Node) run(program func(congest.Context), ctl *controller) error {
+	err := nd.runProgram(program)
+	ctl.done <- struct{}{}
+	if err != nil {
+		nd.closeConns()
+		return err
+	}
+	for {
+		select {
+		case <-ctl.stop:
+			if ferr := nd.finish(); ferr != nil {
+				nd.closeConns()
+				return ferr
+			}
+			return nil
+		default:
+			if _, aerr := nd.advance(); aerr != nil {
+				nd.closeConns()
+				return aerr
+			}
+		}
+	}
+}
+
+// finish runs the shutdown handshake: send FIN on every edge, then
+// consume each peer's stream until its FIN appears. A FIN-marked peer
+// never needs to be waited for again, so no round agreement is needed.
+func (nd *Node) finish() error {
+	var buf [frameSize]byte
+	for _, pr := range nd.peers {
+		encodeFrame(&buf, frameFin, congest.Message{}, nd.round)
+		if _, err := pr.w.Write(buf[:]); err != nil {
+			return fmt.Errorf("nettrans: vertex %d fin write: %w", nd.id, err)
+		}
+		if err := pr.w.Flush(); err != nil {
+			return fmt.Errorf("nettrans: vertex %d fin flush: %w", nd.id, err)
+		}
+	}
+	// Our FIN is flushed on every edge, so free-running peers can treat
+	// us as permanently caught up; now wait for their FINs.
+	for p, pr := range nd.peers {
+		for !nd.peerFin[p] {
+			if _, err := io.ReadFull(pr.r, buf[:]); err != nil {
+				return fmt.Errorf("nettrans: vertex %d fin read port %d: %w", nd.id, p, err)
+			}
+			if buf[0] == frameFin {
+				nd.peerFin[p] = true
+			}
+		}
+	}
+	return nil
+}
+
+// runProgram executes the algorithm, converting panics (protocol or
+// bandwidth violations, transport failures surfaced through Step) into
+// errors.
+func (nd *Node) runProgram(program func(congest.Context)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nettrans: vertex %d: %v", nd.id, r)
+		}
+	}()
+	program(nd)
+	return nil
+}
+
+func (nd *Node) closeConns() {
+	for _, p := range nd.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+}
+
+// ID returns the identity of the hosting vertex.
+func (nd *Node) ID() int { return nd.id }
+
+// Degree returns the number of ports.
+func (nd *Node) Degree() int { return len(nd.peers) }
+
+// Weight returns the weight of the edge behind port p.
+func (nd *Node) Weight(p int) int64 { return nd.g.Edge(nd.g.Adj(nd.id)[p].Edge).W }
+
+// Round returns the current round.
+func (nd *Node) Round() int64 { return nd.round }
+
+// Bandwidth returns the per-edge per-direction message budget.
+func (nd *Node) Bandwidth() int { return nd.bandwidth }
+
+// Send queues m on port p for delivery next round.
+func (nd *Node) Send(p int, m congest.Message) {
+	if p < 0 || p >= len(nd.peers) {
+		panic(fmt.Sprintf("send on invalid port %d", p))
+	}
+	if len(nd.outbox[p]) >= nd.bandwidth {
+		panic(fmt.Sprintf("bandwidth exceeded on port %d round %d (b=%d)", p, nd.round, nd.bandwidth))
+	}
+	nd.outbox[p] = append(nd.outbox[p], m)
+}
+
+// Step ends the round and returns the next round's deliveries.
+func (nd *Node) Step() []congest.Inbound {
+	msgs, err := nd.advance()
+	if err != nil {
+		panic(err)
+	}
+	return msgs
+}
+
+// Recv advances rounds until a delivery arrives.
+func (nd *Node) Recv() []congest.Inbound {
+	for {
+		if msgs := nd.Step(); len(msgs) > 0 {
+			return msgs
+		}
+	}
+}
+
+// RecvUntil advances rounds until a delivery arrives or the deadline
+// round is reached.
+func (nd *Node) RecvUntil(target int64) []congest.Inbound {
+	if target <= nd.round {
+		panic(fmt.Sprintf("RecvUntil(%d) at round %d", target, nd.round))
+	}
+	for nd.round < target {
+		if msgs := nd.Step(); len(msgs) > 0 {
+			return msgs
+		}
+	}
+	return nil
+}
+
+// advance realizes one synchronous round: flush queued messages plus an
+// end-of-round marker on every edge, then collect everything the
+// neighbors sent this round.
+func (nd *Node) advance() ([]congest.Inbound, error) {
+	var buf [frameSize]byte
+	for p, pr := range nd.peers {
+		for _, m := range nd.outbox[p] {
+			encodeFrame(&buf, frameMsg, m, nd.round)
+			if _, err := pr.w.Write(buf[:]); err != nil {
+				return nil, fmt.Errorf("nettrans: vertex %d write: %w", nd.id, err)
+			}
+			nd.sentTotal++
+		}
+		nd.outbox[p] = nd.outbox[p][:0]
+		encodeFrame(&buf, frameEOR, congest.Message{}, nd.round)
+		if _, err := pr.w.Write(buf[:]); err != nil {
+			return nil, fmt.Errorf("nettrans: vertex %d write: %w", nd.id, err)
+		}
+		if err := pr.w.Flush(); err != nil {
+			return nil, fmt.Errorf("nettrans: vertex %d flush: %w", nd.id, err)
+		}
+	}
+	nd.inbox = nd.inbox[:0]
+	for p, pr := range nd.peers {
+		for !nd.peerFin[p] {
+			if _, err := io.ReadFull(pr.r, buf[:]); err != nil {
+				return nil, fmt.Errorf("nettrans: vertex %d read port %d: %w", nd.id, p, err)
+			}
+			ftype, m, round := decodeFrame(&buf)
+			if ftype == frameFin {
+				// The peer stopped for good; it satisfies every future
+				// round implicitly.
+				nd.peerFin[p] = true
+				break
+			}
+			if round != nd.round {
+				return nil, fmt.Errorf("nettrans: vertex %d: round skew on port %d: got %d at %d", nd.id, p, round, nd.round)
+			}
+			if ftype == frameEOR {
+				break
+			}
+			nd.inbox = append(nd.inbox, congest.Inbound{Port: p, Msg: m})
+		}
+	}
+	nd.round++
+	sort.SliceStable(nd.inbox, func(i, j int) bool { return nd.inbox[i].Port < nd.inbox[j].Port })
+	out := make([]congest.Inbound, len(nd.inbox))
+	copy(out, nd.inbox)
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func encodeFrame(buf *[frameSize]byte, ftype byte, m congest.Message, round int64) {
+	buf[0] = ftype
+	buf[1] = m.Kind
+	binary.LittleEndian.PutUint64(buf[2:], uint64(round))
+	binary.LittleEndian.PutUint64(buf[10:], uint64(m.A))
+	binary.LittleEndian.PutUint64(buf[18:], uint64(m.B))
+	binary.LittleEndian.PutUint64(buf[26:], uint64(m.C))
+	binary.LittleEndian.PutUint64(buf[34:], uint64(m.D))
+}
+
+func decodeFrame(buf *[frameSize]byte) (byte, congest.Message, int64) {
+	m := congest.Message{
+		Kind: buf[1],
+		A:    int64(binary.LittleEndian.Uint64(buf[10:])),
+		B:    int64(binary.LittleEndian.Uint64(buf[18:])),
+		C:    int64(binary.LittleEndian.Uint64(buf[26:])),
+		D:    int64(binary.LittleEndian.Uint64(buf[34:])),
+	}
+	return buf[0], m, int64(binary.LittleEndian.Uint64(buf[2:]))
+}

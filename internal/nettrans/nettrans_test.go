@@ -1,0 +1,203 @@
+package nettrans
+
+import (
+	"testing"
+	"time"
+
+	"congestmst/internal/congest"
+	"congestmst/internal/core"
+	"congestmst/internal/ghs"
+	"congestmst/internal/graph"
+	"congestmst/internal/verify"
+)
+
+func TestPingPongOverTCP(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 7)
+	g := b.MustGraph()
+	stats, err := Run(g, 1, func(ctx congest.Context) {
+		if ctx.ID() == 0 {
+			ctx.Send(0, congest.Message{Kind: 5, A: 42})
+			msgs := ctx.Recv()
+			if len(msgs) != 1 || msgs[0].Msg.A != 43 {
+				t.Errorf("node 0 got %v", msgs)
+			}
+			return
+		}
+		msgs := ctx.Recv()
+		if len(msgs) != 1 || msgs[0].Msg.A != 42 {
+			t.Errorf("node 1 got %v", msgs)
+		}
+		ctx.Send(msgs[0].Port, congest.Message{Kind: 5, A: 43})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", stats.Messages)
+	}
+	if stats.Rounds < 2 {
+		t.Errorf("Rounds = %d, want >= 2", stats.Rounds)
+	}
+}
+
+func TestWeightAndRoundSemantics(t *testing.T) {
+	g := graph.Path(3, graph.GenOptions{})
+	_, err := Run(g, 1, func(ctx congest.Context) {
+		if ctx.ID() == 1 {
+			if ctx.Weight(0) != ctx.Weight(0) || ctx.Degree() != 2 {
+				t.Error("weight/degree broken")
+			}
+		}
+		// Everyone steps a few rounds in lockstep.
+		for i := 0; i < 5; i++ {
+			before := ctx.Round()
+			ctx.Step()
+			if ctx.Round() != before+1 {
+				t.Errorf("round %d -> %d", before, ctx.Round())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestBandwidthEnforcedOverTCP(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	g := b.MustGraph()
+	_, err := Run(g, 1, func(ctx congest.Context) {
+		if ctx.ID() == 0 {
+			ctx.Send(0, congest.Message{})
+			ctx.Send(0, congest.Message{}) // second on same port, b=1
+		}
+		ctx.Step()
+	})
+	if err == nil {
+		t.Fatal("bandwidth violation not reported")
+	}
+}
+
+// TestElkinOverTCPMatchesSimulator is the transport-independence proof:
+// the full paper algorithm runs over real TCP sockets and produces the
+// identical MST, round count, and algorithm-message count as the
+// in-process simulator.
+func TestElkinOverTCPMatchesSimulator(t *testing.T) {
+	g := graph.Grid(4, 4, graph.GenOptions{Seed: 77})
+
+	// Simulator run.
+	simPorts := make([][]int, g.N())
+	eng := congest.NewEngine(g, congest.Config{})
+	simStats, err := eng.Run(func(ctx *congest.Ctx) {
+		simPorts[ctx.ID()] = core.Run(ctx, core.Config{}).MSTPorts
+	})
+	if err != nil {
+		t.Fatalf("simulator: %v", err)
+	}
+
+	// TCP run of the same program.
+	tcpPorts := make([][]int, g.N())
+	done := make(chan struct{})
+	var tcpStats *Stats
+	var tcpErr error
+	go func() {
+		defer close(done)
+		tcpStats, tcpErr = Run(g, 1, func(ctx congest.Context) {
+			tcpPorts[ctx.ID()] = core.Run(ctx, core.Config{}).MSTPorts
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("TCP run hung")
+	}
+	if tcpErr != nil {
+		t.Fatalf("tcp: %v", tcpErr)
+	}
+
+	if err := verify.CheckMST(g, tcpPorts); err != nil {
+		t.Errorf("TCP MST invalid: %v", err)
+	}
+	for v := range simPorts {
+		if len(simPorts[v]) != len(tcpPorts[v]) {
+			t.Fatalf("vertex %d: simulator %v vs TCP %v", v, simPorts[v], tcpPorts[v])
+		}
+		for i := range simPorts[v] {
+			if simPorts[v][i] != tcpPorts[v][i] {
+				t.Fatalf("vertex %d: port lists differ", v)
+			}
+		}
+	}
+	if tcpStats.Messages != simStats.Messages {
+		t.Errorf("message counts differ: tcp=%d sim=%d", tcpStats.Messages, simStats.Messages)
+	}
+	// The TCP transport cannot skip idle rounds, so its final round can
+	// only match or exceed the simulator's last busy round.
+	if tcpStats.Rounds < simStats.Rounds {
+		t.Errorf("tcp rounds %d < simulator rounds %d", tcpStats.Rounds, simStats.Rounds)
+	}
+}
+
+// TestGHSOverTCP runs the second algorithm family over the wire.
+func TestGHSOverTCP(t *testing.T) {
+	g, err := graph.RandomConnected(12, 24, graph.GenOptions{Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := make([][]int, g.N())
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		defer close(done)
+		_, runErr = Run(g, 1, func(ctx congest.Context) {
+			ports[ctx.ID()] = ghs.Run(ctx).MSTPorts
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("TCP GHS hung")
+	}
+	if runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+	if err := verify.CheckMST(g, ports); err != nil {
+		t.Errorf("GHS-over-TCP MST invalid: %v", err)
+	}
+}
+
+func TestSingleVertexOverTCP(t *testing.T) {
+	g := graph.Path(1, graph.GenOptions{})
+	_, err := Run(g, 1, func(ctx congest.Context) {
+		if ctx.Degree() != 0 || ctx.ID() != 0 {
+			t.Error("bad singleton context")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestProgramPanicOverTCP(t *testing.T) {
+	g := graph.Path(3, graph.GenOptions{})
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Run(g, 1, func(ctx congest.Context) {
+			if ctx.ID() == 1 {
+				panic("boom")
+			}
+			ctx.Recv() // must unwind when the neighbor dies
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("panic did not unwind the cluster")
+	}
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}

@@ -1,0 +1,154 @@
+// Package verify provides offline ground-truth checks shared by the
+// facade, the examples and the benchmark harness: exact comparison of a
+// distributed MST against Kruskal's, and structural validation of
+// (alpha, beta)-MST forests.
+package verify
+
+import (
+	"fmt"
+
+	"congestmst/internal/graph"
+)
+
+// MSTFromPorts converts per-vertex MST port lists into a set of edge
+// indices, requiring every reported edge to be marked at exactly two
+// endpoints.
+func MSTFromPorts(g *graph.Graph, ports [][]int) ([]int, error) {
+	marked := make(map[int]int)
+	for v, ps := range ports {
+		for _, p := range ps {
+			if p < 0 || p >= g.Degree(v) {
+				return nil, fmt.Errorf("verify: vertex %d reports invalid port %d", v, p)
+			}
+			marked[g.Adj(v)[p].Edge]++
+		}
+	}
+	edges := make([]int, 0, len(marked))
+	for ei, cnt := range marked {
+		if cnt != 2 {
+			e := g.Edge(ei)
+			return nil, fmt.Errorf("verify: edge (%d,%d) marked at %d endpoints, want 2", e.U, e.V, cnt)
+		}
+		edges = append(edges, ei)
+	}
+	return edges, nil
+}
+
+// CheckMST verifies that the per-vertex MST ports reproduce exactly the
+// unique MST of g.
+func CheckMST(g *graph.Graph, ports [][]int) error {
+	got, err := MSTFromPorts(g, ports)
+	if err != nil {
+		return err
+	}
+	want, err := g.Kruskal()
+	if err != nil {
+		return err
+	}
+	wantSet := make(map[int]bool, len(want))
+	for _, ei := range want {
+		wantSet[ei] = true
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("verify: %d MST edges reported, want %d", len(got), len(want))
+	}
+	for _, ei := range got {
+		if !wantSet[ei] {
+			e := g.Edge(ei)
+			return fmt.Errorf("verify: edge (%d,%d,w=%d) reported but not in the MST", e.U, e.V, e.W)
+		}
+	}
+	return nil
+}
+
+// ForestReport summarises an MST forest for bound checking.
+type ForestReport struct {
+	Fragments   int
+	MaxDiameter int
+	MinSize     int
+}
+
+// CheckForest validates an MST forest given per-vertex fragment ids and
+// fragment-tree parent ports: fragments must be vertex-disjoint
+// connected subtrees of the unique MST covering all vertices. It
+// returns the fragment count and the maximum fragment diameter for
+// bound checks by the caller.
+func CheckForest(g *graph.Graph, fragID []int64, parentPort []int) (*ForestReport, error) {
+	mst, err := g.Kruskal()
+	if err != nil {
+		return nil, err
+	}
+	inMST := make(map[int]bool, len(mst))
+	for _, ei := range mst {
+		inMST[ei] = true
+	}
+	adj := make([][]int, g.N())
+	for v, pp := range parentPort {
+		if pp < 0 {
+			continue
+		}
+		arc := g.Adj(v)[pp]
+		if !inMST[arc.Edge] {
+			e := g.Edge(arc.Edge)
+			return nil, fmt.Errorf("verify: fragment edge (%d,%d,w=%d) is not an MST edge", e.U, e.V, e.W)
+		}
+		if fragID[v] != fragID[arc.To] {
+			return nil, fmt.Errorf("verify: fragment edge (%d,%d) spans fragments %d and %d",
+				v, arc.To, fragID[v], fragID[arc.To])
+		}
+		adj[v] = append(adj[v], arc.To)
+		adj[arc.To] = append(adj[arc.To], v)
+	}
+	members := make(map[int64][]int)
+	for v, f := range fragID {
+		members[f] = append(members[f], v)
+	}
+	rep := &ForestReport{Fragments: len(members), MinSize: g.N()}
+	for f, vs := range members {
+		if len(vs) < rep.MinSize {
+			rep.MinSize = len(vs)
+		}
+		d, reach := diameterWithin(adj, vs)
+		if reach != len(vs) {
+			return nil, fmt.Errorf("verify: fragment %d connects only %d of %d vertices", f, reach, len(vs))
+		}
+		if d > rep.MaxDiameter {
+			rep.MaxDiameter = d
+		}
+	}
+	return rep, nil
+}
+
+// diameterWithin computes the exact diameter of the tree induced on
+// members (double BFS) and the number of reachable members.
+func diameterWithin(adj [][]int, members []int) (int, int) {
+	allowed := make(map[int]bool, len(members))
+	for _, v := range members {
+		allowed[v] = true
+	}
+	bfs := func(src int) (int, int, int) {
+		dist := map[int]int{src: 0}
+		queue := []int{src}
+		far, best := src, 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range adj[v] {
+				if !allowed[u] {
+					continue
+				}
+				if _, ok := dist[u]; !ok {
+					dist[u] = dist[v] + 1
+					if dist[u] > best {
+						best, far = dist[u], u
+					}
+					queue = append(queue, u)
+				}
+			}
+		}
+		return far, best, len(dist)
+	}
+	far, _, reach := bfs(members[0])
+	_, d, _ := bfs(far)
+	return d, reach
+}

@@ -1,0 +1,164 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"congestmst/internal/graph"
+)
+
+// portsOfMST builds the per-vertex port lists of the true MST.
+func portsOfMST(t *testing.T, g *graph.Graph) [][]int {
+	t.Helper()
+	mst, err := g.Kruskal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMST := make(map[int]bool, len(mst))
+	for _, ei := range mst {
+		inMST[ei] = true
+	}
+	ports := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		for p, a := range g.Adj(v) {
+			if inMST[a.Edge] {
+				ports[v] = append(ports[v], p)
+			}
+		}
+	}
+	return ports
+}
+
+func TestCheckMSTAccepts(t *testing.T) {
+	g, err := graph.RandomConnected(50, 140, graph.GenOptions{Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMST(g, portsOfMST(t, g)); err != nil {
+		t.Errorf("true MST rejected: %v", err)
+	}
+}
+
+func TestCheckMSTRejectsMissingEndpoint(t *testing.T) {
+	g := graph.Path(5, graph.GenOptions{})
+	ports := portsOfMST(t, g)
+	ports[0] = nil // drop one endpoint's marking
+	err := CheckMST(g, ports)
+	if err == nil || !strings.Contains(err.Error(), "endpoints") {
+		t.Errorf("err = %v, want endpoint-count complaint", err)
+	}
+}
+
+func TestCheckMSTRejectsWrongEdge(t *testing.T) {
+	g := graph.Ring(6, graph.GenOptions{Seed: 92})
+	ports := portsOfMST(t, g)
+	// Add the one non-MST ring edge at both endpoints.
+	mstSet := make(map[int]bool)
+	mst, _ := g.Kruskal()
+	for _, ei := range mst {
+		mstSet[ei] = true
+	}
+	for ei := range g.Edges() {
+		if !mstSet[ei] {
+			e := g.Edge(ei)
+			for p, a := range g.Adj(e.U) {
+				if a.Edge == ei {
+					ports[e.U] = append(ports[e.U], p)
+				}
+			}
+			for p, a := range g.Adj(e.V) {
+				if a.Edge == ei {
+					ports[e.V] = append(ports[e.V], p)
+				}
+			}
+			break
+		}
+	}
+	if err := CheckMST(g, ports); err == nil {
+		t.Error("extra non-MST edge accepted")
+	}
+}
+
+func TestCheckMSTRejectsInvalidPort(t *testing.T) {
+	g := graph.Path(4, graph.GenOptions{})
+	ports := portsOfMST(t, g)
+	ports[0] = append(ports[0], 9)
+	if err := CheckMST(g, ports); err == nil {
+		t.Error("invalid port accepted")
+	}
+}
+
+func TestMSTFromPortsEmpty(t *testing.T) {
+	g := graph.Path(1, graph.GenOptions{})
+	edges, err := MSTFromPorts(g, make([][]int, 1))
+	if err != nil || len(edges) != 0 {
+		t.Errorf("singleton: edges=%v err=%v", edges, err)
+	}
+}
+
+func TestCheckForestAccepts(t *testing.T) {
+	// Split the path MST into two fragments at its middle edge.
+	g := graph.Path(8, graph.GenOptions{Seed: 93})
+	fragID := make([]int64, 8)
+	parent := make([]int, 8)
+	for v := 0; v < 8; v++ {
+		switch {
+		case v < 4:
+			fragID[v] = 0
+		default:
+			fragID[v] = 4
+		}
+		switch v {
+		case 0, 4:
+			parent[v] = -1
+		default:
+			// Port 0 of an interior path vertex leads to v-1.
+			parent[v] = 0
+		}
+	}
+	rep, err := CheckForest(g, fragID, parent)
+	if err != nil {
+		t.Fatalf("CheckForest: %v", err)
+	}
+	if rep.Fragments != 2 || rep.MaxDiameter != 3 || rep.MinSize != 4 {
+		t.Errorf("report = %+v, want 2 fragments, diameter 3, min size 4", rep)
+	}
+}
+
+func TestCheckForestRejectsNonMSTEdge(t *testing.T) {
+	g := graph.Ring(6, graph.GenOptions{Seed: 94})
+	mst, _ := g.Kruskal()
+	inMST := make(map[int]bool)
+	for _, ei := range mst {
+		inMST[ei] = true
+	}
+	// Find the excluded ring edge and use it as a fragment edge.
+	fragID := make([]int64, 6)
+	parent := make([]int, 6)
+	for v := range parent {
+		parent[v] = -1
+	}
+	for ei := range g.Edges() {
+		if !inMST[ei] {
+			e := g.Edge(ei)
+			for p, a := range g.Adj(e.U) {
+				if a.Edge == ei {
+					parent[e.U] = p
+				}
+			}
+			break
+		}
+	}
+	if _, err := CheckForest(g, fragID, parent); err == nil {
+		t.Error("non-MST fragment edge accepted")
+	}
+}
+
+func TestCheckForestRejectsCrossFragmentEdge(t *testing.T) {
+	g := graph.Path(4, graph.GenOptions{})
+	fragID := []int64{0, 0, 2, 2}
+	parent := []int{-1, 0, 0, 0} // vertex 2's parent port 0 leads to vertex 1: crosses fragments
+	if _, err := CheckForest(g, fragID, parent); err == nil {
+		t.Error("cross-fragment edge accepted")
+	}
+}
