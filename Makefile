@@ -1,0 +1,33 @@
+# Development and CI entry points. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: all build fmt vet test test-short race bench-tables check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the bench-table sweeps (e9-e11) so CI stays inside
+# its time budget; the full table regeneration is `make bench-tables`.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/parsim/ ./internal/congest/ .
+
+bench-tables:
+	$(GO) run ./cmd/mstbench
+
+check: build fmt vet test-short

@@ -48,6 +48,10 @@ func BenchmarkE6Bandwidth(b *testing.B) { benchExperiment(b, "e6") }
 // BenchmarkE7Baselines regenerates the Section 1.1 comparison table.
 func BenchmarkE7Baselines(b *testing.B) { benchExperiment(b, "e7") }
 
+// BenchmarkE11ParsimScaling races the parallel engine against the
+// lockstep engine at the quick scale.
+func BenchmarkE11ParsimScaling(b *testing.B) { benchExperiment(b, "e11") }
+
 // BenchmarkE8Convergence regenerates the CV/Boruvka constants table.
 func BenchmarkE8Convergence(b *testing.B) { benchExperiment(b, "e8") }
 

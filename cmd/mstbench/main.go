@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mstbench [-full] [-e e1,e5]
+//	mstbench [-full] [-e e1,e5] [-engine lockstep|parallel]
 package main
 
 import (
@@ -14,13 +14,21 @@ import (
 	"strings"
 	"time"
 
+	"congestmst"
 	"congestmst/internal/bench"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run the full-size experiments recorded in EXPERIMENTS.md")
 	only := flag.String("e", "", "comma-separated experiment ids (default: all)")
+	engine := flag.String("engine", "lockstep", "simulation engine for the experiments: lockstep | parallel (e11 always measures both)")
 	flag.Parse()
+	eng, err := congestmst.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+	bench.DefaultEngine = eng
 	if err := run(*full, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "mstbench:", err)
 		os.Exit(1)

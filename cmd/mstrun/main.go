@@ -8,6 +8,7 @@
 //	mstrun -graph ring -n 512 -alg ghs
 //	mstrun -graph cylinder -rows 8 -cols 128 -alg elkin-fixed-k -b 4
 //	mstrun -graph pathmst -n 2048 -alg pipeline -edges
+//	mstrun -graph random -n 1000000 -m 3000000 -alg elkin -engine parallel
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		weights   = flag.String("weights", "distinct", "distinct | random | unit")
 		alg       = flag.String("alg", "elkin", "elkin | elkin-fixed-k | ghs | pipeline")
+		engine    = flag.String("engine", "lockstep", "simulation engine: lockstep | parallel")
+		workers   = flag.Int("workers", 0, "parallel engine worker pool size (0 = GOMAXPROCS)")
 		bandwidth = flag.Int("b", 1, "CONGEST(b log n) bandwidth")
 		root      = flag.Int("root", 0, "BFS root vertex")
 		fixedK    = flag.Int("k", 0, "pinned k for elkin-fixed-k (0 = sqrt n)")
@@ -38,14 +41,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
-		*alg, *bandwidth, *root, *fixedK, *edges, *metrics); err != nil {
+		*alg, *engine, *workers, *bandwidth, *root, *fixedK, *edges, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "mstrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
-	weights, alg string, bandwidth, root, fixedK int, printEdges, printMetrics bool) error {
+	weights, alg, engine string, workers, bandwidth, root, fixedK int, printEdges, printMetrics bool) error {
 	var mode congestmst.WeightMode
 	switch weights {
 	case "distinct":
@@ -109,9 +112,16 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 		return fmt.Errorf("unknown algorithm %q", alg)
 	}
 
+	eng, err := congestmst.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
+
 	var met congestmst.Metrics
 	runOpts := congestmst.Options{
 		Algorithm: algorithm,
+		Engine:    eng,
+		Workers:   workers,
 		Bandwidth: bandwidth,
 		Root:      root,
 		FixedK:    fixedK,
@@ -126,6 +136,7 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 
 	fmt.Printf("graph     : %s n=%d m=%d\n", graphType, g.N(), g.M())
 	fmt.Printf("algorithm : %s (b=%d)\n", algorithm, bandwidth)
+	fmt.Printf("engine    : %s\n", eng)
 	fmt.Printf("rounds    : %d\n", res.Rounds)
 	fmt.Printf("messages  : %d\n", res.Messages)
 	fmt.Printf("mst weight: %d (%d edges, verified against Kruskal)\n", res.Weight, len(res.MSTEdges))

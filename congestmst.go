@@ -27,6 +27,7 @@ import (
 	"congestmst/internal/ghs"
 	"congestmst/internal/graph"
 	"congestmst/internal/mathx"
+	"congestmst/internal/parsim"
 	"congestmst/internal/pipeline"
 	"congestmst/internal/verify"
 )
@@ -64,6 +65,50 @@ func (a Algorithm) String() string {
 		return "pipeline"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Engine selects which simulation engine executes the run. Both
+// enforce the same CONGEST(b log n) model and report bit-identical
+// Rounds, Messages and per-kind statistics; they differ only in how
+// wall-clock time scales with the graph.
+type Engine int
+
+const (
+	// Lockstep is the single-coordinator engine of internal/congest:
+	// lowest constant overhead, the default, and the reference
+	// implementation the parallel engine is validated against. Use it
+	// for graphs up to roughly 10^5 vertices.
+	Lockstep Engine = iota
+	// Parallel is the event-driven engine of internal/parsim: sparse
+	// activation with a calendar heap, a worker pool over vertex
+	// shards, and per-shard outbox arenas merged deterministically.
+	// Use it for large graphs (10^5 vertices and up) on multi-core
+	// hosts; at a million vertices it is the only practical option.
+	Parallel
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Lockstep:
+		return "lockstep"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine converts a command-line engine name ("lockstep" or
+// "parallel") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "lockstep":
+		return Lockstep, nil
+	case "parallel":
+		return Parallel, nil
+	default:
+		return 0, fmt.Errorf("congestmst: unknown engine %q (want lockstep or parallel)", s)
 	}
 }
 
@@ -121,6 +166,13 @@ func NewForestTrace(n, k int) *ForestTrace { return forest.NewTrace(n, k) }
 type Options struct {
 	// Algorithm selects the MST algorithm (default Elkin).
 	Algorithm Algorithm
+	// Engine selects the simulation engine (default Lockstep). Both
+	// engines produce identical results and statistics; Parallel
+	// scales to million-vertex graphs on multi-core hosts.
+	Engine Engine
+	// Workers sets the Parallel engine's worker-pool size (default
+	// GOMAXPROCS). Ignored by Lockstep.
+	Workers int
 	// Bandwidth is the CONGEST(b log n) parameter: messages per edge
 	// per direction per round (default 1, the standard CONGEST model).
 	Bandwidth int
@@ -179,7 +231,7 @@ func Run(g *Graph, opts Options) (*Result, error) {
 	ports := make([][]int, g.N())
 	res := &Result{PortsByVertex: ports}
 
-	var program func(*congest.Ctx)
+	var program func(congest.Context)
 	switch opts.Algorithm {
 	case Elkin, ElkinFixedK:
 		cfg := core.Config{
@@ -193,7 +245,7 @@ func Run(g *Graph, opts Options) (*Result, error) {
 				cfg.FixedK = mathx.Max(1, mathx.ISqrtCeil(g.N()))
 			}
 		}
-		program = func(ctx *congest.Ctx) {
+		program = func(ctx congest.Context) {
 			r := core.Run(ctx, cfg)
 			ports[ctx.ID()] = r.MSTPorts
 			if ctx.ID() == opts.Root {
@@ -202,11 +254,11 @@ func Run(g *Graph, opts Options) (*Result, error) {
 			}
 		}
 	case GHS:
-		program = func(ctx *congest.Ctx) {
+		program = func(ctx congest.Context) {
 			ports[ctx.ID()] = ghs.Run(ctx).MSTPorts
 		}
 	case Pipeline:
-		program = func(ctx *congest.Ctx) {
+		program = func(ctx congest.Context) {
 			r := pipeline.Run(ctx, opts.Root)
 			ports[ctx.ID()] = r.MSTPorts
 			if ctx.ID() == opts.Root {
@@ -217,13 +269,27 @@ func Run(g *Graph, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("congestmst: unknown algorithm %v", opts.Algorithm)
 	}
 
-	engine := congest.NewEngine(g, congest.Config{
-		Bandwidth: opts.Bandwidth,
-		MaxRounds: opts.MaxRounds,
-	})
-	stats, err := engine.Run(program)
+	var stats *Stats
+	var err error
+	switch opts.Engine {
+	case Lockstep:
+		engine := congest.NewEngine(g, congest.Config{
+			Bandwidth: opts.Bandwidth,
+			MaxRounds: opts.MaxRounds,
+		})
+		stats, err = engine.Run(func(ctx *congest.Ctx) { program(ctx) })
+	case Parallel:
+		engine := parsim.NewEngine(g, parsim.Config{
+			Bandwidth: opts.Bandwidth,
+			MaxRounds: opts.MaxRounds,
+			Workers:   opts.Workers,
+		})
+		stats, err = engine.Run(program)
+	default:
+		return nil, fmt.Errorf("congestmst: unknown engine %v", opts.Engine)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("congestmst: %s: %w", opts.Algorithm, err)
+		return nil, fmt.Errorf("congestmst: %s (%s): %w", opts.Algorithm, opts.Engine, err)
 	}
 	res.Stats = stats
 	res.Rounds = stats.Rounds

@@ -32,6 +32,21 @@ func TestRunDefaultsToElkin(t *testing.T) {
 	}
 }
 
+func TestRunEmptyGraph(t *testing.T) {
+	// Regression: MSTFromPorts used to panic sizing its result slice
+	// for a zero-vertex graph.
+	g := NewBuilder(0).MustGraph()
+	for _, eng := range []Engine{Lockstep, Parallel} {
+		res, err := Run(g, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if len(res.MSTEdges) != 0 || res.Weight != 0 {
+			t.Errorf("%v: non-empty MST on empty graph: %+v", eng, res)
+		}
+	}
+}
+
 func TestAllAlgorithmsAgree(t *testing.T) {
 	g, err := RandomConnected(72, 200, GenOptions{Seed: 82, Weights: WeightsUnit})
 	if err != nil {

@@ -1,0 +1,95 @@
+package congestmst_test
+
+import (
+	"fmt"
+	"testing"
+
+	"congestmst"
+)
+
+// TestEngineMatrixDeterminism is the cross-engine contract test: every
+// algorithm, on a matrix of topologies, must report identical Rounds,
+// Messages and per-kind counters (and the same MST) on the lockstep
+// and the parallel engine. Workers=3 forces real cross-shard traffic
+// in the parallel runs.
+func TestEngineMatrixDeterminism(t *testing.T) {
+	type gen struct {
+		name string
+		g    *congestmst.Graph
+	}
+	random, err := congestmst.RandomConnected(96, 288, congestmst.GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := []gen{
+		{"path-48", congestmst.Path(48, congestmst.GenOptions{Seed: 1})},
+		{"grid-6x8", congestmst.Grid(6, 8, congestmst.GenOptions{Seed: 2})},
+		{"lollipop-8+24", congestmst.Lollipop(8, 24, congestmst.GenOptions{Seed: 3})},
+		{"random-96", random},
+	}
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
+	}
+	for _, gn := range gens {
+		for _, alg := range algs {
+			t.Run(fmt.Sprintf("%s/%s", gn.name, alg), func(t *testing.T) {
+				lock, err := congestmst.Run(gn.g, congestmst.Options{
+					Algorithm: alg, Engine: congestmst.Lockstep,
+				})
+				if err != nil {
+					t.Fatalf("lockstep: %v", err)
+				}
+				par, err := congestmst.Run(gn.g, congestmst.Options{
+					Algorithm: alg, Engine: congestmst.Parallel, Workers: 3,
+				})
+				if err != nil {
+					t.Fatalf("parallel: %v", err)
+				}
+				if lock.Rounds != par.Rounds {
+					t.Errorf("Rounds: lockstep %d, parallel %d", lock.Rounds, par.Rounds)
+				}
+				if lock.Messages != par.Messages {
+					t.Errorf("Messages: lockstep %d, parallel %d", lock.Messages, par.Messages)
+				}
+				if *lock.Stats != *par.Stats {
+					t.Errorf("ByKind counters differ between engines")
+				}
+				if lock.Weight != par.Weight {
+					t.Errorf("Weight: lockstep %d, parallel %d", lock.Weight, par.Weight)
+				}
+				if len(lock.MSTEdges) != len(par.MSTEdges) {
+					t.Fatalf("MST sizes differ: %d vs %d", len(lock.MSTEdges), len(par.MSTEdges))
+				}
+				for i := range lock.MSTEdges {
+					if lock.MSTEdges[i] != par.MSTEdges[i] {
+						t.Fatalf("MST edge %d differs: %d vs %d", i, lock.MSTEdges[i], par.MSTEdges[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineMatrixBandwidth repeats a slice of the matrix under
+// CONGEST(b log n) bandwidth to cover the b > 1 accounting paths of
+// both engines.
+func TestEngineMatrixBandwidth(t *testing.T) {
+	g, err := congestmst.RandomConnected(80, 240, congestmst.GenOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{2, 4} {
+		lock, err := congestmst.Run(g, congestmst.Options{Bandwidth: b, Engine: congestmst.Lockstep})
+		if err != nil {
+			t.Fatalf("lockstep b=%d: %v", b, err)
+		}
+		par, err := congestmst.Run(g, congestmst.Options{Bandwidth: b, Engine: congestmst.Parallel, Workers: 2})
+		if err != nil {
+			t.Fatalf("parallel b=%d: %v", b, err)
+		}
+		if *lock.Stats != *par.Stats {
+			t.Errorf("b=%d: stats differ between engines:\nlockstep: %+v\nparallel: %+v",
+				b, lock.Stats, par.Stats)
+		}
+	}
+}

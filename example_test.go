@@ -37,8 +37,8 @@ func ExampleRun() {
 	// Output:
 	// MST weight: 7
 	// edge (0,1) w=1
-	// edge (0,3) w=4
 	// edge (1,2) w=2
+	// edge (0,3) w=4
 }
 
 // ExampleRun_bandwidth shows the CONGEST(b log n) generalization

@@ -1,0 +1,3 @@
+module congestmst
+
+go 1.24

@@ -20,7 +20,13 @@ import (
 	"congestmst/internal/forest"
 	"congestmst/internal/graph"
 	"congestmst/internal/mathx"
+	"congestmst/internal/parsim"
 )
+
+// DefaultEngine is the simulation engine every experiment runs on
+// (mstbench -engine). E11 ignores it: it measures both engines
+// against each other by definition.
+var DefaultEngine = congestmst.Lockstep
 
 // Table is one experiment's rendered result.
 type Table struct {
@@ -94,6 +100,7 @@ func All() []Experiment {
 		{"e8", "Convergence constants: Cole-Vishkin and Boruvka halving", E8Convergence},
 		{"e9", "Time separation vs GHS on its adversarial workload (Section 1.1)", E9GHSAdversary},
 		{"e10", "Message separation vs Pipeline-MST (Section 1.1)", E10PipelineMessages},
+		{"e11", "Engine scaling: parsim vs lockstep up to 10^6 vertices", E11ParsimScaling},
 	}
 }
 
@@ -127,16 +134,28 @@ func tauTraffic(s *congestmst.Stats) int64 {
 		s.ByKind[bfstree.KindRoute] + s.ByKind[bfstree.KindRouteFlush]
 }
 
+// runAlg is congestmst.Run on the experiment-wide DefaultEngine.
+func runAlg(g *graph.Graph, opts congestmst.Options) (*congestmst.Result, error) {
+	opts.Engine = DefaultEngine
+	return congestmst.Run(g, opts)
+}
+
 // forestRun builds τ (for alignment and n/D discovery) and the base
 // forest alone, returning per-vertex states, the trace, and stats.
 func forestRun(g *graph.Graph, k int, bandwidth int) ([]*forest.State, *forest.Trace, *congest.Stats, error) {
 	states := make([]*forest.State, g.N())
 	trace := forest.NewTrace(g.N(), k)
-	e := congest.NewEngine(g, congest.Config{Bandwidth: bandwidth})
-	stats, err := e.Run(func(ctx *congest.Ctx) {
+	program := func(ctx congest.Context) {
 		bfstree.Build(ctx, 0)
 		states[ctx.ID()] = forest.Run(ctx, k, trace)
-	})
+	}
+	if DefaultEngine == congestmst.Parallel {
+		e := parsim.NewEngine(g, parsim.Config{Bandwidth: bandwidth})
+		stats, err := e.Run(program)
+		return states, trace, stats, err
+	}
+	e := congest.NewEngine(g, congest.Config{Bandwidth: bandwidth})
+	stats, err := e.Run(func(ctx *congest.Ctx) { program(ctx) })
 	return states, trace, stats, err
 }
 

@@ -11,9 +11,16 @@ import (
 // header, and no invariant cell reads VIOLATED. This doubles as the
 // end-to-end regression harness for the whole reproduction.
 func TestAllExperimentsProduceSaneTables(t *testing.T) {
+	// The separation sweeps and the engine race are the slow tail of
+	// the suite; short mode (CI) skips them and keeps the structural
+	// coverage of e1-e8.
+	slow := map[string]bool{"e9": true, "e10": true, "e11": true}
 	for _, exp := range All() {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {
+			if testing.Short() && slow[exp.ID] {
+				t.Skipf("%s skipped in short mode", exp.ID)
+			}
 			table, err := exp.Run(false)
 			if err != nil {
 				t.Fatalf("%s: %v", exp.ID, err)
@@ -48,8 +55,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("nope"); ok {
 		t.Error("bogus id found")
 	}
-	if len(All()) != 10 {
-		t.Errorf("expected 10 experiments, got %d", len(All()))
+	if len(All()) != 11 {
+		t.Errorf("expected 11 experiments, got %d", len(All()))
 	}
 }
 

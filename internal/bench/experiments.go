@@ -115,7 +115,7 @@ func E3LowDiameter(full bool) (*Table, error) {
 	for _, n := range ns {
 		g := mustRandom(n, 4*n, uint64(103+n))
 		metrics := &congestmst.Metrics{}
-		res, err := congestmst.Run(g, congestmst.Options{Metrics: metrics})
+		res, err := runAlg(g, congestmst.Options{Metrics: metrics})
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +170,7 @@ func E4HighDiameter(full bool) (*Table, error) {
 		Columns: []string{"topology", "n", "m", "D", "k", "rounds", "r/(D lg n)", "msgs", "m/(m lg n + n lg n lg* n)"},
 	}
 	for _, c := range cases {
-		res, err := congestmst.Run(c.g, congestmst.Options{})
+		res, err := runAlg(c.g, congestmst.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -206,11 +206,11 @@ func E5Ablation(full bool) (*Table, error) {
 	}
 	for _, sh := range shapes {
 		g := graph.Cylinder(sh[0], sh[1], graph.GenOptions{Seed: 108})
-		paper, err := congestmst.Run(g, congestmst.Options{})
+		paper, err := runAlg(g, congestmst.Options{})
 		if err != nil {
 			return nil, err
 		}
-		abl, err := congestmst.Run(g, congestmst.Options{Algorithm: congestmst.ElkinFixedK})
+		abl, err := runAlg(g, congestmst.Options{Algorithm: congestmst.ElkinFixedK})
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +250,7 @@ func E6Bandwidth(full bool) (*Table, error) {
 	}
 	var base *congestmst.Result
 	for _, b := range bs {
-		res, err := congestmst.Run(g, congestmst.Options{Bandwidth: b})
+		res, err := runAlg(g, congestmst.Options{Bandwidth: b})
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +304,7 @@ func E7Baselines(full bool) (*Table, error) {
 	for _, c := range cases {
 		diam := c.g.DiameterEstimate()
 		for _, alg := range algs {
-			res, err := congestmst.Run(c.g, congestmst.Options{Algorithm: alg})
+			res, err := runAlg(c.g, congestmst.Options{Algorithm: alg})
 			if err != nil {
 				return nil, err
 			}
@@ -346,11 +346,11 @@ func E10PipelineMessages(full bool) (*Table, error) {
 	var prevPipe, prevElkin int64
 	for _, n := range ns {
 		g := mustRandom(n, 4*n, uint64(116+n))
-		pp, err := congestmst.Run(g, congestmst.Options{Algorithm: congestmst.Pipeline})
+		pp, err := runAlg(g, congestmst.Options{Algorithm: congestmst.Pipeline})
 		if err != nil {
 			return nil, err
 		}
-		el, err := congestmst.Run(g, congestmst.Options{})
+		el, err := runAlg(g, congestmst.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -396,11 +396,11 @@ func E9GHSAdversary(full bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gh, err := congestmst.Run(g, congestmst.Options{Algorithm: congestmst.GHS})
+		gh, err := runAlg(g, congestmst.Options{Algorithm: congestmst.GHS})
 		if err != nil {
 			return nil, err
 		}
-		el, err := congestmst.Run(g, congestmst.Options{})
+		el, err := runAlg(g, congestmst.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -431,7 +431,7 @@ func E8Convergence(full bool) (*Table, error) {
 	}
 	g := mustRandom(n, m, 114)
 	metrics := &congestmst.Metrics{}
-	res, err := congestmst.Run(g, congestmst.Options{Metrics: metrics})
+	res, err := runAlg(g, congestmst.Options{Metrics: metrics})
 	if err != nil {
 		return nil, err
 	}

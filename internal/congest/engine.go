@@ -18,6 +18,13 @@
 // order is preserved, and node programs are required to be deterministic
 // functions of their inputs. Two runs of the same program on the same
 // graph produce identical round and message counts.
+//
+// This is the lockstep reference engine: a single coordinator plays
+// each round and routes every message itself. Its sibling
+// internal/parsim runs the same programs on a worker pool with
+// bit-identical statistics and is the right choice beyond ~10^5
+// vertices; this engine remains the ground truth parsim is validated
+// against.
 package congest
 
 import (
@@ -85,9 +92,10 @@ type Engine struct {
 	g   *graph.Graph
 	cfg Config
 
-	// portPeer[v][p] is the port index at the far endpoint of the edge
-	// behind port p of vertex v.
-	portPeer [][]int
+	// csr is the graph's cached flat adjacency; csr.PeerPort[Off[v]+p]
+	// is the port index at the far endpoint of the edge behind port p
+	// of vertex v.
+	csr *graph.CSR
 
 	nodes  []nodeState
 	yields chan yieldMsg
@@ -130,37 +138,13 @@ type wake struct {
 
 // NewEngine prepares an engine for g under cfg.
 func NewEngine(g *graph.Graph, cfg Config) *Engine {
-	e := &Engine{
-		g:        g,
-		cfg:      cfg,
-		portPeer: make([][]int, g.N()),
-		nodes:    make([]nodeState, g.N()),
-		yields:   make(chan yieldMsg, 64),
+	return &Engine{
+		g:      g,
+		cfg:    cfg,
+		csr:    g.CSR(),
+		nodes:  make([]nodeState, g.N()),
+		yields: make(chan yieldMsg, 64),
 	}
-	// ports[ei] records the port index of edge ei at each endpoint
-	// (slot 0 for the smaller endpoint U, slot 1 for V).
-	ports := make([][2]int, g.M())
-	for v := 0; v < g.N(); v++ {
-		for p, a := range g.Adj(v) {
-			if v == g.Edge(a.Edge).U {
-				ports[a.Edge][0] = p
-			} else {
-				ports[a.Edge][1] = p
-			}
-		}
-	}
-	for v := 0; v < g.N(); v++ {
-		adj := g.Adj(v)
-		e.portPeer[v] = make([]int, len(adj))
-		for p, a := range adj {
-			if v == g.Edge(a.Edge).U {
-				e.portPeer[v][p] = ports[a.Edge][1]
-			} else {
-				e.portPeer[v][p] = ports[a.Edge][0]
-			}
-		}
-	}
-	return e
 }
 
 // Run executes program on every vertex and blocks until all processors
@@ -260,10 +244,10 @@ func (e *Engine) playRound(ids []int) int {
 // route delivers one outbound message into the recipient's inbox and
 // schedules the recipient's wakeup for the next round.
 func (e *Engine) route(from int, om outMsg) {
-	arc := e.g.Adj(from)[om.port]
-	to := arc.To
+	pos := e.csr.Off[from] + int64(om.port)
+	to := int(e.csr.To[pos])
 	ns := &e.nodes[to]
-	ns.inbox = append(ns.inbox, Inbound{Port: e.portPeer[from][om.port], Msg: om.msg})
+	ns.inbox = append(ns.inbox, Inbound{Port: int(e.csr.PeerPort[pos]), Msg: om.msg})
 	e.stats.Messages++
 	e.stats.ByKind[om.msg.Kind]++
 	if ns.parked && !ns.queued && !ns.done {

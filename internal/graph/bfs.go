@@ -13,7 +13,7 @@ func (g *Graph) BFS(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range g.adj[v] {
+		for _, a := range g.Adj(v) {
 			if dist[a.To] < 0 {
 				dist[a.To] = dist[v] + 1
 				queue = append(queue, a.To)

@@ -1,0 +1,78 @@
+package graph
+
+// CSR is the compact flat adjacency view the simulation engines use on
+// their hot paths: four parallel arrays indexed by arc position, where
+// vertex v owns the arc positions Off[v]..Off[v+1]-1 and its port p is
+// arc position Off[v]+p. Neighbor ids, edge indices and peer ports are
+// int32 (an arc count of 2m must fit; m < 2^31 edges), and edge weights
+// are duplicated per arc so a Weight lookup touches one cache line
+// instead of chasing into the edge list.
+//
+// A CSR is built once per Graph, on first demand, and shared by every
+// engine run on that graph.
+type CSR struct {
+	// Off has length N()+1; vertex v's arcs are positions Off[v] to
+	// Off[v+1] (exclusive), in port order.
+	Off []int64
+	// To is the neighbor vertex id behind each arc.
+	To []int32
+	// EdgeIdx is the index into Edges() behind each arc.
+	EdgeIdx []int32
+	// PeerPort is the port index of the same edge at the far endpoint:
+	// a message sent on arc a arrives at vertex To[a] on its port
+	// PeerPort[a].
+	PeerPort []int32
+	// W is the weight of the edge behind each arc.
+	W []int64
+}
+
+// Degree returns the number of ports of v.
+func (c *CSR) Degree(v int) int { return int(c.Off[v+1] - c.Off[v]) }
+
+// CSR returns the graph's compact adjacency view, building it on first
+// call. The caller must not modify it.
+func (g *Graph) CSR() *CSR {
+	g.csrOnce.Do(func() { g.csr = g.buildCSR() })
+	return g.csr
+}
+
+func (g *Graph) buildCSR() *CSR {
+	nArcs := len(g.arcs)
+	c := &CSR{
+		Off:      g.off,
+		To:       make([]int32, nArcs),
+		EdgeIdx:  make([]int32, nArcs),
+		PeerPort: make([]int32, nArcs),
+		W:        make([]int64, nArcs),
+	}
+	// ports[ei] is the port index of edge ei at each endpoint (slot 0
+	// for the smaller endpoint U, slot 1 for V).
+	ports := make([][2]int32, len(g.edges))
+	for v := 0; v < g.n; v++ {
+		base := g.off[v]
+		for p, a := range g.Adj(v) {
+			pos := base + int64(p)
+			e := g.edges[a.Edge]
+			c.To[pos] = int32(a.To)
+			c.EdgeIdx[pos] = int32(a.Edge)
+			c.W[pos] = e.W
+			if v == e.U {
+				ports[a.Edge][0] = int32(p)
+			} else {
+				ports[a.Edge][1] = int32(p)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		base := g.off[v]
+		for p, a := range g.Adj(v) {
+			pos := base + int64(p)
+			if v == g.edges[a.Edge].U {
+				c.PeerPort[pos] = ports[a.Edge][1]
+			} else {
+				c.PeerPort[pos] = ports[a.Edge][0]
+			}
+		}
+	}
+	return c
+}

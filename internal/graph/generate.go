@@ -51,10 +51,16 @@ func assignWeights(b *Builder, o GenOptions) {
 			b.edges[i].W = 1 + rng.Int64N(1_000_000_000)
 		}
 	default: // WeightsDistinct
-		perm := rng.Perm(len(b.edges))
+		// A random permutation of 1..m shuffled in place over the
+		// weight fields: same RNG stream (and thus same graphs) as the
+		// rng.Perm this replaces, without materializing the O(m)
+		// permutation slice.
 		for i := range b.edges {
-			b.edges[i].W = int64(perm[i] + 1)
+			b.edges[i].W = int64(i + 1)
 		}
+		rng.Shuffle(len(b.edges), func(i, j int) {
+			b.edges[i].W, b.edges[j].W = b.edges[j].W, b.edges[i].W
+		})
 	}
 }
 
@@ -167,19 +173,15 @@ func RandomConnected(n, m int, o GenOptions) (*Graph, error) {
 	}
 	rng := o.rng()
 	b := NewBuilder(n)
-	seen := make(map[[2]int]struct{}, m)
+	b.edges = make([]Edge, 0, m)
+	seen := newEdgeSet(m)
 	add := func(u, v int) bool {
 		if u == v {
 			return false
 		}
-		if u > v {
-			u, v = v, u
-		}
-		key := [2]int{u, v}
-		if _, dup := seen[key]; dup {
+		if !seen.add(u, v) {
 			return false
 		}
-		seen[key] = struct{}{}
 		b.AddEdge(u, v, 1)
 		return true
 	}
@@ -189,7 +191,7 @@ func RandomConnected(n, m int, o GenOptions) (*Graph, error) {
 	for i := 1; i < n; i++ {
 		add(order[i], order[rng.IntN(i)])
 	}
-	for len(seen) < m {
+	for seen.len() < m {
 		add(rng.IntN(n), rng.IntN(n))
 	}
 	assignWeights(b, o)
@@ -212,25 +214,18 @@ func PathMST(n, extra int, o GenOptions) (*Graph, error) {
 	}
 	rng := o.rng()
 	b := NewBuilder(n)
-	seen := make(map[[2]int]struct{}, n-1+extra)
+	b.edges = make([]Edge, 0, n-1+extra)
+	seen := newEdgeSet(n - 1 + extra)
 	for v := 0; v+1 < n; v++ {
 		b.AddEdge(v, v+1, int64(v+1))
-		seen[[2]int{v, v + 1}] = struct{}{}
+		seen.add(v, v+1)
 	}
 	w := int64(n + 1)
-	for len(seen) < n-1+extra {
+	for seen.len() < n-1+extra {
 		u, v := rng.IntN(n), rng.IntN(n)
-		if u == v {
+		if u == v || !seen.add(u, v) {
 			continue
 		}
-		if u > v {
-			u, v = v, u
-		}
-		key := [2]int{u, v}
-		if _, dup := seen[key]; dup {
-			continue
-		}
-		seen[key] = struct{}{}
 		b.AddEdge(u, v, w)
 		w++
 	}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Edge is an undirected weighted edge. U < V is not required at
@@ -31,16 +32,27 @@ type Arc struct {
 
 // Graph is an immutable weighted undirected graph. Build one with a
 // Builder or a generator from this package.
+//
+// Adjacency is stored flat in CSR form (one arc array plus n+1
+// offsets) rather than as a slice of per-vertex slices, so a
+// million-vertex graph costs two allocations for its adjacency instead
+// of n+2.
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]Arc
+	arcs  []Arc   // flat adjacency, vertex v owns arcs[off[v]:off[v+1]]
+	off   []int64 // len n+1
+
+	csrOnce sync.Once
+	csr     *CSR
 }
 
-// Builder accumulates edges and produces an immutable Graph.
+// Builder accumulates edges and produces an immutable Graph. A builder
+// is single-use: Graph consumes it.
 type Builder struct {
-	n     int
-	edges []Edge
+	n        int
+	edges    []Edge
+	consumed bool
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
@@ -50,15 +62,33 @@ func NewBuilder(n int) *Builder {
 
 // AddEdge appends the undirected edge {u, v} with weight w.
 func (b *Builder) AddEdge(u, v int, w int64) {
+	if b.consumed {
+		panic("graph: Builder used after Graph")
+	}
 	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
 }
 
 // Graph validates the accumulated edges and returns the immutable graph.
 // It rejects self-loops, out-of-range endpoints, and duplicate edges.
+// The builder is consumed: it takes no copy of the edge list, and any
+// further use of the builder is an error.
 func (b *Builder) Graph() (*Graph, error) {
-	g := &Graph{n: b.n, edges: make([]Edge, len(b.edges))}
-	copy(g.edges, b.edges)
-	seen := make(map[[2]int]struct{}, len(g.edges))
+	if b.consumed {
+		return nil, errors.New("graph: Builder already consumed by a previous Graph call")
+	}
+	b.consumed = true
+	edges := b.edges
+	b.edges = nil
+	return FromEdges(b.n, edges)
+}
+
+// FromEdges builds the immutable graph over vertices 0..n-1 from edges,
+// taking ownership of the slice (endpoints are normalized to U <= V in
+// place). It performs the same validation as Builder.Graph but without
+// any O(m) temporaries beyond the adjacency itself: duplicate edges are
+// detected from the sorted adjacency instead of a hash map.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := &Graph{n: n, edges: edges}
 	for i := range g.edges {
 		e := &g.edges[i]
 		if e.U == e.V {
@@ -70,29 +100,35 @@ func (b *Builder) Graph() (*Graph, error) {
 		if e.U > e.V {
 			e.U, e.V = e.V, e.U
 		}
-		key := [2]int{e.U, e.V}
-		if _, dup := seen[key]; dup {
-			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
-		}
-		seen[key] = struct{}{}
 	}
-	g.adj = make([][]Arc, g.n)
-	deg := make([]int, g.n)
+	// Counting pass, then a placement pass into the flat arc array.
+	g.off = make([]int64, g.n+1)
 	for _, e := range g.edges {
-		deg[e.U]++
-		deg[e.V]++
+		g.off[e.U+1]++
+		g.off[e.V+1]++
 	}
 	for v := 0; v < g.n; v++ {
-		g.adj[v] = make([]Arc, 0, deg[v])
+		g.off[v+1] += g.off[v]
 	}
+	g.arcs = make([]Arc, 2*len(g.edges))
+	cursor := make([]int64, g.n)
+	copy(cursor, g.off[:g.n])
 	for i, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], Arc{To: e.V, Edge: i})
-		g.adj[e.V] = append(g.adj[e.V], Arc{To: e.U, Edge: i})
+		g.arcs[cursor[e.U]] = Arc{To: e.V, Edge: i}
+		cursor[e.U]++
+		g.arcs[cursor[e.V]] = Arc{To: e.U, Edge: i}
+		cursor[e.V]++
 	}
-	// Deterministic port order: neighbors sorted by vertex id.
+	// Deterministic port order: neighbors sorted by vertex id. A
+	// duplicate edge shows up as two equal neighbors side by side.
 	for v := 0; v < g.n; v++ {
-		a := g.adj[v]
-		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+		seg := g.arcs[g.off[v]:g.off[v+1]]
+		sort.Slice(seg, func(i, j int) bool { return seg[i].To < seg[j].To })
+		for i := 1; i < len(seg); i++ {
+			if seg[i].To == seg[i-1].To {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", min(v, seg[i].To), max(v, seg[i].To))
+			}
+		}
 	}
 	return g, nil
 }
@@ -121,10 +157,10 @@ func (g *Graph) Edge(i int) Edge { return g.edges[i] }
 
 // Adj returns the adjacency list of v, sorted by neighbor id. The caller
 // must not modify it.
-func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+func (g *Graph) Adj(v int) []Arc { return g.arcs[g.off[v]:g.off[v+1]] }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
 // Less reports whether edge i is strictly lighter than edge j under the
 // unique lexicographic order (w, u, v). It is a strict total order as long

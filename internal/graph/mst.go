@@ -16,7 +16,7 @@ func (g *Graph) Kruskal() ([]int, error) {
 	}
 	sort.Slice(order, func(a, b int) bool { return g.Less(order[a], order[b]) })
 	uf := NewUnionFind(g.n)
-	mst := make([]int, 0, g.n-1)
+	mst := make([]int, 0, max(0, g.n-1))
 	for _, ei := range order {
 		e := g.edges[ei]
 		if uf.Union(e.U, e.V) {
@@ -65,7 +65,7 @@ func (g *Graph) Prim() ([]int, error) {
 	inTree := make([]bool, g.n)
 	inTree[0] = true
 	h := &primHeap{g: g}
-	for _, a := range g.adj[0] {
+	for _, a := range g.Adj(0) {
 		heap.Push(h, primItem{ei: a.Edge, to: a.To})
 	}
 	mst := make([]int, 0, g.n-1)
@@ -76,7 +76,7 @@ func (g *Graph) Prim() ([]int, error) {
 		}
 		inTree[it.to] = true
 		mst = append(mst, it.ei)
-		for _, a := range g.adj[it.to] {
+		for _, a := range g.Adj(it.to) {
 			if !inTree[a.To] {
 				heap.Push(h, primItem{ei: a.Edge, to: a.To})
 			}

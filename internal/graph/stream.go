@@ -1,0 +1,67 @@
+package graph
+
+// edgeSet is a dedup set of undirected edges packed as u<<32|v
+// (u < v), open-addressed with linear probing. It replaces the
+// map[[2]int]struct{} the random generators used to carry: at 10^6
+// vertices and 4*10^6 edges the map costs several hundred MB of
+// buckets and pointers, while this is a single []uint64 at ~8 bytes
+// per slot. Keys are stored +1 so the zero word can mean "empty".
+type edgeSet struct {
+	slots []uint64
+	mask  uint64
+	size  int
+}
+
+func newEdgeSet(capacityHint int) *edgeSet {
+	sz := uint64(16)
+	for int(sz)*2 < capacityHint*3 { // keep load factor under ~2/3
+		sz *= 2
+	}
+	return &edgeSet{slots: make([]uint64, sz), mask: sz - 1}
+}
+
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// add inserts {u, v} and reports whether it was absent.
+func (s *edgeSet) add(u, v int) bool {
+	key := edgeKey(u, v) + 1
+	// Fibonacci hashing spreads the packed key across the table.
+	i := (key * 0x9e3779b97f4a7c15) >> 32 & s.mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			s.slots[i] = key
+			s.size++
+			if uint64(s.size)*3 > uint64(len(s.slots))*2 {
+				s.grow()
+			}
+			return true
+		case key:
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *edgeSet) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	for _, key := range old {
+		if key == 0 {
+			continue
+		}
+		i := (key * 0x9e3779b97f4a7c15) >> 32 & s.mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = key
+	}
+}
+
+func (s *edgeSet) len() int { return s.size }

@@ -1,0 +1,122 @@
+package parsim
+
+import (
+	"fmt"
+
+	"congestmst/internal/congest"
+)
+
+// Ctx is parsim's processor-side view: the same API as congest.Ctx
+// (both satisfy congest.Context), backed by the shared graph.CSR and
+// the engine's shard arenas. All methods must be called only from the
+// program's own goroutine.
+type Ctx struct {
+	e     *Engine
+	id    int
+	base  int64 // first arc position of this vertex in the CSR
+	deg   int
+	round int64
+
+	// outbox/spare double-buffer the per-round sends: the buffer handed
+	// over at a yield is fully consumed by the shard's exec processing
+	// before the vertex can run again, so the two buffers alternate
+	// without allocation.
+	outbox []outMsg
+	spare  []outMsg
+
+	resume chan wake
+
+	// sentAt/sentN implement lazy per-round bandwidth accounting
+	// without an O(degree) reset every round.
+	sentAt []int64
+	sentN  []int32
+}
+
+var _ congest.Context = (*Ctx)(nil)
+
+func newCtx(e *Engine, id int) *Ctx {
+	deg := e.csr.Degree(id)
+	c := &Ctx{
+		e:      e,
+		id:     id,
+		base:   e.csr.Off[id],
+		deg:    deg,
+		resume: make(chan wake, 1),
+		sentAt: make([]int64, deg),
+		sentN:  make([]int32, deg),
+	}
+	for p := range c.sentAt {
+		c.sentAt[p] = -1
+	}
+	return c
+}
+
+// ID returns the identity of the hosting vertex.
+func (c *Ctx) ID() int { return c.id }
+
+// Degree returns the number of ports (incident edges).
+func (c *Ctx) Degree() int { return c.deg }
+
+// Weight returns the weight of the edge behind port p.
+func (c *Ctx) Weight(p int) int64 { return c.e.csr.W[c.base+int64(p)] }
+
+// Round returns the current round number (starting at 0).
+func (c *Ctx) Round() int64 { return c.round }
+
+// Bandwidth returns b, the per-edge per-direction message budget.
+func (c *Ctx) Bandwidth() int { return c.e.cfg.bandwidth() }
+
+// Send queues m on port p for delivery at the beginning of the next
+// round. Sending more than Bandwidth() messages on one port in a
+// single round violates the CONGEST model and aborts the run.
+func (c *Ctx) Send(p int, m congest.Message) {
+	if p < 0 || p >= c.deg {
+		c.e.fail(fmt.Errorf("parsim: processor %d sent on invalid port %d", c.id, p))
+		panic(errAborted)
+	}
+	if c.sentAt[p] != c.round {
+		c.sentAt[p] = c.round
+		c.sentN[p] = 0
+	}
+	if int(c.sentN[p]) >= c.e.cfg.bandwidth() {
+		c.e.fail(fmt.Errorf("%w: processor %d port %d round %d (b=%d)",
+			congest.ErrBandwidth, c.id, p, c.round, c.e.cfg.bandwidth()))
+		panic(errAborted)
+	}
+	c.sentN[p]++
+	c.outbox = append(c.outbox, outMsg{port: int32(p), msg: m})
+}
+
+// Step ends the current round and resumes at the next one, returning
+// the messages delivered then (possibly none), sorted by port.
+func (c *Ctx) Step() []congest.Inbound { return c.yield(c.round + 1) }
+
+// Recv ends the current round and blocks until some future round
+// delivers at least one message; it resumes in that round and returns
+// the messages.
+func (c *Ctx) Recv() []congest.Inbound { return c.yield(congest.Forever) }
+
+// RecvUntil ends the current round and resumes at the earliest round
+// r' <= target that delivers a message (returning the messages), or at
+// target itself with nil if none arrive. target must exceed the
+// current round.
+func (c *Ctx) RecvUntil(target int64) []congest.Inbound {
+	if target <= c.round {
+		c.e.fail(fmt.Errorf("parsim: processor %d: RecvUntil(%d) at round %d", c.id, target, c.round))
+		panic(errAborted)
+	}
+	return c.yield(target)
+}
+
+func (c *Ctx) yield(target int64) []congest.Inbound {
+	nd := &c.e.nodes[c.id]
+	nd.out = yieldRec{outbox: c.outbox, target: target}
+	c.outbox, c.spare = c.spare[:0], c.outbox
+	c.e.shards[c.e.shardOf(c.id)].yield <- c.id
+	w := <-c.resume
+	if w.abort {
+		panic(errAborted)
+	}
+	c.round = w.round
+	return w.msgs
+}

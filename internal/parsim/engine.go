@@ -1,0 +1,587 @@
+// Package parsim is the parallel event-driven CONGEST engine: it runs
+// the same programs as internal/congest (anything written against
+// congest.Context) and reports bit-identical Rounds, Messages and
+// per-kind counters, but is built for million-vertex graphs.
+//
+// Three things distinguish it from the lockstep engine:
+//
+//   - Sparse activation. A round only touches vertices that have
+//     pending deliveries or an expired RecvUntil deadline. Wake times
+//     live in per-round ready lists plus a calendar heap, so a quiet
+//     stretch of the execution costs one heap pop, not n goroutine
+//     wakeups.
+//
+//   - A fixed worker pool over vertex shards. Vertices are split into
+//     contiguous shards (several per worker, claimed atomically, so a
+//     shard with a hot spot is stolen around); each round runs two
+//     phases: execute (resume active vertices, collect their outboxes
+//     into per-shard arenas) and deliver (each shard merges, in fixed
+//     source order, every other shard's bucket destined to it). No
+//     locks are taken on the hot path; all cross-shard traffic moves
+//     through the arena buckets between two barriers.
+//
+//   - Deterministic merge. Within a shard, vertices are processed in
+//     ascending id; outboxes are staged in send order; a destination
+//     shard consumes source buckets in ascending source-shard order.
+//     Per-port FIFO order is therefore exactly the sender's send
+//     order, and inboxes (stably sorted by port on wakeup) are
+//     byte-for-byte what the lockstep engine delivers. Statistics are
+//     sums over the same deliveries, so they match bit for bit.
+//
+// Rounds with fewer active vertices than a threshold bypass the pool
+// and run inline on the coordinator: the long sparse tail of an
+// execution (BFS fronts, fragment chains) keeps lockstep-like latency
+// while the wide rounds (Boruvka floods, forest phases) fan out.
+//
+// Per-vertex engine state is O(deg(v)): the bandwidth accounting
+// slices, one wake channel, and amortized outbox buffers. The
+// adjacency is the shared graph.CSR, so a million-vertex run fits in
+// memory where per-vertex slice-of-slice bookkeeping would not.
+package parsim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"congestmst/internal/congest"
+	"congestmst/internal/graph"
+)
+
+// Config parameterizes an Engine. The Bandwidth and MaxRounds fields
+// have the same meaning and defaults as congest.Config.
+type Config struct {
+	// Bandwidth is b: messages per edge per direction per round.
+	// Zero means 1.
+	Bandwidth int
+	// MaxRounds aborts runs that exceed this many rounds. Zero means
+	// 100 million.
+	MaxRounds int64
+	// Workers is the size of the worker pool. Zero means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) bandwidth() int {
+	if c.Bandwidth <= 0 {
+		return 1
+	}
+	return c.Bandwidth
+}
+
+func (c Config) maxRounds() int64 {
+	if c.MaxRounds <= 0 {
+		return 100_000_000
+	}
+	return c.MaxRounds
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardsPerWorker trades steal granularity against per-round scan
+// cost; parallelThreshold is the active-vertex count below which a
+// round runs inline on the coordinator instead of fanning out.
+const (
+	shardsPerWorker   = 4
+	parallelThreshold = 512
+)
+
+// errAborted unwinds vertex goroutines after a failure; it never
+// escapes the package.
+var errAborted = fmt.Errorf("parsim: run aborted")
+
+type outMsg struct {
+	port int32
+	msg  congest.Message
+}
+
+// delivery is one staged message: destination vertex, destination
+// port, payload.
+type delivery struct {
+	to   int32
+	port int32
+	msg  congest.Message
+}
+
+type yieldRec struct {
+	outbox []outMsg
+	target int64
+	done   bool
+}
+
+type wake struct {
+	round int64
+	msgs  []congest.Inbound
+	abort bool
+}
+
+// node is the engine-side state of one vertex. Every field is owned by
+// the vertex's own shard: the exec phase touches it from the shard's
+// processing loop, the deliver phase from the destination shard's
+// merge loop — the same shard, since a vertex's inbox belongs to the
+// shard that contains the vertex — and the two phases are separated by
+// a barrier. The out field is written by the vertex goroutine before
+// it signals its yield, which happens-before the shard reads it.
+type node struct {
+	ctx    *Ctx
+	inbox  []congest.Inbound
+	out    yieldRec
+	queued bool
+	parked bool
+	done   bool
+	target int64
+	gen    int64
+}
+
+// shard owns a contiguous vertex range and this round's arenas.
+type shard struct {
+	lo, hi int
+
+	// yield is the rendezvous for this shard's vertices; buffered to
+	// the shard size so a yielding vertex never blocks.
+	yield chan int
+
+	// active/nextActive are this and next round's wake sets (own
+	// vertices only, sorted ascending before execution).
+	active     []int
+	nextActive []int
+
+	// buckets[d] stages messages from this shard to shard d; the
+	// backing arrays are reused from round to round.
+	buckets [][]delivery
+
+	// timers stages calendar entries for the coordinator.
+	timers []timerEntry
+
+	// Per-shard statistics, merged once at the end of the run.
+	messages int64
+	byKind   [256]int64
+
+	finished int
+}
+
+type phaseKind int32
+
+const (
+	phaseExec phaseKind = iota
+	phaseDeliver
+)
+
+// Engine executes one program on one graph. Engines are single-use.
+type Engine struct {
+	g   *graph.Graph
+	csr *graph.CSR
+	cfg Config
+
+	nodes     []node
+	shards    []shard
+	shardSize int
+
+	round       int64
+	statsRounds int64
+	timers      timerHeap
+
+	nworkers int
+	jobs     chan phaseKind
+	cursor   atomic.Int64
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	failErr error
+	aborted atomic.Bool
+}
+
+// NewEngine prepares a parallel engine for g under cfg.
+func NewEngine(g *graph.Graph, cfg Config) *Engine {
+	n := g.N()
+	w := cfg.workers()
+	if w < 1 {
+		w = 1
+	}
+	if w > n && n > 0 {
+		w = n
+	}
+	nShards := w * shardsPerWorker
+	if nShards > n {
+		nShards = n
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	shardSize := (n + nShards - 1) / nShards
+	if shardSize < 1 {
+		shardSize = 1
+	}
+	nShards = (n + shardSize - 1) / shardSize
+	if nShards < 1 {
+		nShards = 1
+	}
+	e := &Engine{
+		g:         g,
+		csr:       g.CSR(),
+		cfg:       cfg,
+		nodes:     make([]node, n),
+		shards:    make([]shard, nShards),
+		shardSize: shardSize,
+		nworkers:  w,
+		jobs:      make(chan phaseKind),
+	}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.lo = i * shardSize
+		s.hi = min(s.lo+shardSize, n)
+		s.yield = make(chan int, s.hi-s.lo)
+		s.buckets = make([][]delivery, nShards)
+	}
+	return e
+}
+
+func (e *Engine) shardOf(v int) int { return v / e.shardSize }
+
+// Run executes program on every vertex and blocks until all processors
+// return (or the run fails). It returns the stats accumulated up to
+// completion or failure. Rounds, Messages and ByKind are bit-identical
+// to what congest.Engine reports for the same program and graph.
+func (e *Engine) Run(program func(congest.Context)) (*congest.Stats, error) {
+	if e.nodes == nil && e.g.N() > 0 {
+		return nil, congest.ErrReused
+	}
+	n := e.g.N()
+	for v := 0; v < n; v++ {
+		e.nodes[v].ctx = newCtx(e, v)
+	}
+	for v := 0; v < n; v++ {
+		go e.runNode(e.nodes[v].ctx, program)
+	}
+	for w := 0; w < e.nworkers; w++ {
+		go e.worker()
+	}
+	defer close(e.jobs)
+
+	// Round 0: release everyone.
+	for i := range e.shards {
+		s := &e.shards[i]
+		for v := s.lo; v < s.hi; v++ {
+			s.active = append(s.active, v)
+		}
+	}
+
+	doneCount := 0
+	for n > 0 {
+		doneCount += e.playRound()
+		if e.aborted.Load() {
+			doneCount += e.drain()
+			break
+		}
+		if doneCount == n {
+			break
+		}
+		if err := e.advance(); err != nil {
+			e.fail(err)
+			doneCount += e.drain()
+			break
+		}
+	}
+
+	stats := &congest.Stats{Rounds: e.statsRounds}
+	for i := range e.shards {
+		s := &e.shards[i]
+		stats.Messages += s.messages
+		for k, c := range s.byKind {
+			stats.ByKind[k] += c
+		}
+	}
+	e.nodes = nil // single use
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return stats, e.failErr
+}
+
+// playRound executes one round (exec + deliver phases) over the
+// current per-shard active sets and returns how many programs
+// finished.
+func (e *Engine) playRound() int {
+	total := 0
+	for i := range e.shards {
+		total += len(e.shards[i].active)
+	}
+	if total == 0 {
+		return 0
+	}
+	if e.round > e.statsRounds {
+		e.statsRounds = e.round
+	}
+	e.runPhase(phaseExec, total)
+	e.runPhase(phaseDeliver, total)
+	finished := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		finished += s.finished
+		s.finished = 0
+		for _, t := range s.timers {
+			heap.Push(&e.timers, t)
+		}
+		s.timers = s.timers[:0]
+	}
+	return finished
+}
+
+// runPhase runs one phase over all shards: inline on the coordinator
+// for sparse rounds, on the worker pool for wide ones.
+func (e *Engine) runPhase(ph phaseKind, totalActive int) {
+	if totalActive < parallelThreshold || e.nworkers == 1 {
+		for i := range e.shards {
+			e.runShardPhase(ph, i)
+		}
+		return
+	}
+	e.cursor.Store(0)
+	e.wg.Add(e.nworkers)
+	for w := 0; w < e.nworkers; w++ {
+		e.jobs <- ph
+	}
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	for ph := range e.jobs {
+		for {
+			i := int(e.cursor.Add(1)) - 1
+			if i >= len(e.shards) {
+				break
+			}
+			e.runShardPhase(ph, i)
+		}
+		e.wg.Done()
+	}
+}
+
+func (e *Engine) runShardPhase(ph phaseKind, i int) {
+	if ph == phaseExec {
+		e.execShard(i)
+	} else {
+		e.deliverShard(i)
+	}
+}
+
+// execShard resumes the shard's active vertices, waits for all of them
+// to yield, then processes their outboxes and park targets in
+// ascending vertex order.
+func (e *Engine) execShard(i int) {
+	s := &e.shards[i]
+	if len(s.active) == 0 {
+		return
+	}
+	// The wake set accumulated in arbitrary (deliver, then timer)
+	// order; ascending id order is part of the deterministic-merge
+	// contract. Sorting here, not on the coordinator, keeps the
+	// O(active log active) work inside the parallel phase.
+	sort.Ints(s.active)
+	for _, id := range s.active {
+		nd := &e.nodes[id]
+		nd.queued = false
+		nd.parked = false
+		msgs := nd.inbox
+		nd.inbox = nil
+		if len(msgs) > 1 {
+			sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].Port < msgs[b].Port })
+		}
+		nd.ctx.resume <- wake{round: e.round, msgs: msgs}
+	}
+	for range s.active {
+		<-s.yield
+	}
+	for _, id := range s.active {
+		nd := &e.nodes[id]
+		y := nd.out
+		nd.out = yieldRec{}
+		for _, om := range y.outbox {
+			pos := e.csr.Off[id] + int64(om.port)
+			to := e.csr.To[pos]
+			s.buckets[e.shardOf(int(to))] = append(s.buckets[e.shardOf(int(to))],
+				delivery{to: to, port: e.csr.PeerPort[pos], msg: om.msg})
+		}
+		if y.done {
+			nd.done = true
+			s.finished++
+			continue
+		}
+		nd.parked = true
+		nd.target = y.target
+		nd.gen++
+		switch {
+		case y.target == e.round+1:
+			nd.queued = true
+			s.nextActive = append(s.nextActive, id)
+		case y.target < congest.Forever:
+			s.timers = append(s.timers, timerEntry{round: y.target, id: id, gen: nd.gen})
+		}
+	}
+	s.active = s.active[:0]
+}
+
+// deliverShard merges every shard's bucket destined to shard i into
+// its vertices' inboxes, in ascending source-shard order, and queues
+// freshly-delivered vertices for the next round. Bucket [src][i] is
+// read by this shard alone, so it is also truncated here for reuse.
+func (e *Engine) deliverShard(i int) {
+	s := &e.shards[i]
+	for src := range e.shards {
+		bucket := e.shards[src].buckets[i]
+		if len(bucket) == 0 {
+			continue
+		}
+		for _, dv := range bucket {
+			nd := &e.nodes[dv.to]
+			nd.inbox = append(nd.inbox, congest.Inbound{Port: int(dv.port), Msg: dv.msg})
+			s.messages++
+			s.byKind[dv.msg.Kind]++
+			if nd.parked && !nd.queued && !nd.done {
+				nd.queued = true
+				s.nextActive = append(s.nextActive, int(dv.to))
+			}
+		}
+		e.shards[src].buckets[i] = bucket[:0]
+	}
+}
+
+// advance moves the clock to the next round with work: round+1 if any
+// vertex is due (fresh deliveries or an explicit Step), otherwise a
+// fast-forward to the earliest live calendar entry. Timers expiring at
+// or before the new round fire together with the message wakeups.
+func (e *Engine) advance() error {
+	due := false
+	for i := range e.shards {
+		if len(e.shards[i].nextActive) > 0 {
+			due = true
+			break
+		}
+	}
+	if due {
+		e.round++
+		if e.round > e.cfg.maxRounds() {
+			return fmt.Errorf("%w (%d)", congest.ErrMaxRounds, e.cfg.maxRounds())
+		}
+		for i := range e.shards {
+			s := &e.shards[i]
+			s.active, s.nextActive = s.nextActive, s.active[:0]
+		}
+		e.popTimers(e.round)
+		return nil
+	}
+	// Fast-forward to the earliest live timer.
+	for e.timers.Len() > 0 {
+		top := e.timers.items[0]
+		if nd := &e.nodes[top.id]; nd.done || !nd.parked || nd.queued || nd.gen != top.gen {
+			heap.Pop(&e.timers) // stale
+			continue
+		}
+		if top.round > e.cfg.maxRounds() {
+			return fmt.Errorf("%w (%d)", congest.ErrMaxRounds, e.cfg.maxRounds())
+		}
+		e.round = top.round
+		e.popTimers(top.round)
+		return nil
+	}
+	return congest.ErrDeadlock
+}
+
+// popTimers releases every live calendar entry with deadline <= round
+// into its shard's active set.
+func (e *Engine) popTimers(round int64) {
+	for e.timers.Len() > 0 && e.timers.items[0].round <= round {
+		entry := heap.Pop(&e.timers).(timerEntry)
+		nd := &e.nodes[entry.id]
+		if nd.done || !nd.parked || nd.queued || nd.gen != entry.gen {
+			continue
+		}
+		nd.queued = true // guards against double release
+		s := &e.shards[e.shardOf(entry.id)]
+		s.active = append(s.active, entry.id)
+	}
+}
+
+// drain aborts every still-parked vertex and waits for its goroutine
+// to exit, returning the number of programs drained.
+func (e *Engine) drain() int {
+	finished := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		resumed := 0
+		for id := s.lo; id < s.hi; id++ {
+			nd := &e.nodes[id]
+			if nd.done || !nd.parked {
+				continue
+			}
+			nd.ctx.resume <- wake{abort: true}
+			resumed++
+		}
+		for j := 0; j < resumed; j++ {
+			id := <-s.yield
+			e.nodes[id].done = true
+			finished++
+		}
+	}
+	return finished
+}
+
+func (e *Engine) runNode(c *Ctx, program func(congest.Context)) {
+	s := &e.shards[e.shardOf(c.id)]
+	defer func() {
+		nd := &e.nodes[c.id]
+		if r := recover(); r != nil {
+			if r != errAborted { //nolint:errorlint // sentinel identity
+				e.fail(fmt.Errorf("parsim: processor %d panicked: %v", c.id, r))
+			}
+			nd.out = yieldRec{done: true}
+			s.yield <- c.id
+			return
+		}
+		nd.out = yieldRec{done: true, outbox: c.outbox}
+		s.yield <- c.id
+	}()
+	w := <-c.resume
+	if w.abort {
+		panic(errAborted)
+	}
+	c.round = w.round
+	program(c)
+}
+
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	e.mu.Unlock()
+	e.aborted.Store(true)
+}
+
+type timerEntry struct {
+	round int64
+	id    int
+	gen   int64
+}
+
+type timerHeap struct {
+	items []timerEntry
+}
+
+func (h *timerHeap) Len() int           { return len(h.items) }
+func (h *timerHeap) Less(i, j int) bool { return h.items[i].round < h.items[j].round }
+func (h *timerHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *timerHeap) Push(x any)         { h.items = append(h.items, x.(timerEntry)) }
+func (h *timerHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

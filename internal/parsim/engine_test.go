@@ -1,0 +1,456 @@
+package parsim
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"congestmst/internal/congest"
+	"congestmst/internal/graph"
+)
+
+func pair(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 7)
+	return b.MustGraph()
+}
+
+func path3(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	return b.MustGraph()
+}
+
+func TestRoundSemantics(t *testing.T) {
+	// A message sent in round r must arrive at round r+1.
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	var gotRound int64 = -1
+	stats, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			c.Send(0, congest.Message{Kind: 1, A: 42})
+			return
+		}
+		msgs := c.Recv()
+		gotRound = c.Round()
+		if len(msgs) != 1 || msgs[0].Msg.A != 42 {
+			t.Errorf("node 1 got %v, want one message with A=42", msgs)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if gotRound != 1 {
+		t.Errorf("delivery round = %d, want 1", gotRound)
+	}
+	if stats.Messages != 1 || stats.Rounds != 1 {
+		t.Errorf("stats = %d msgs %d rounds, want 1 and 1", stats.Messages, stats.Rounds)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	const volleys = 10
+	stats, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			for i := 0; i < volleys; i++ {
+				c.Send(0, congest.Message{A: int64(i)})
+				msgs := c.Recv()
+				if len(msgs) != 1 || msgs[0].Msg.A != int64(i) {
+					t.Errorf("volley %d: got %v", i, msgs)
+				}
+			}
+			return
+		}
+		for i := 0; i < volleys; i++ {
+			msgs := c.Recv()
+			c.Send(msgs[0].Port, msgs[0].Msg) // echo
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Messages != 2*volleys || stats.Rounds != 2*volleys {
+		t.Errorf("stats = %d msgs %d rounds, want %d and %d", stats.Messages, stats.Rounds, 2*volleys, 2*volleys)
+	}
+}
+
+func TestBandwidthViolation(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{Bandwidth: 1})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			c.Send(0, congest.Message{})
+			c.Send(0, congest.Message{}) // second message on the same port, b=1
+		}
+	})
+	if !errors.Is(err, congest.ErrBandwidth) {
+		t.Fatalf("err = %v, want ErrBandwidth", err)
+	}
+}
+
+func TestBandwidthFIFO(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{Bandwidth: 3})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			c.Send(0, congest.Message{A: 1})
+			c.Send(0, congest.Message{A: 2})
+			c.Send(0, congest.Message{A: 3})
+			return
+		}
+		msgs := c.Recv()
+		if len(msgs) != 3 {
+			t.Errorf("got %d messages in one round, want 3", len(msgs))
+		}
+		for i, m := range msgs {
+			if m.Msg.A != int64(i+1) {
+				t.Errorf("message %d = %+v, want A=%d (FIFO order)", i, m.Msg, i+1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = e.Run(func(c congest.Context) {
+			c.Recv() // nobody ever sends
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return; deadlock not detected")
+	}
+	if !errors.Is(err, congest.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestFastForward(t *testing.T) {
+	// Parked processors must not cost wall-clock time per round.
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	start := time.Now()
+	stats, err := e.Run(func(c congest.Context) {
+		c.RecvUntil(1_000_000)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Rounds != 1_000_000 {
+		t.Errorf("Rounds = %d, want 1000000", stats.Rounds)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("fast-forward took %v; parked rounds are not O(1)", elapsed)
+	}
+}
+
+func TestRecvUntilWokenEarly(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			c.RecvUntil(3) // idle until round 3
+			c.Send(0, congest.Message{A: 9})
+			return
+		}
+		msgs := c.RecvUntil(100)
+		if c.Round() != 4 {
+			t.Errorf("woken at round %d, want 4", c.Round())
+		}
+		if len(msgs) != 1 || msgs[0].Msg.A != 9 {
+			t.Errorf("got %v, want the A=9 message", msgs)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRecvUntilDeadlineReached(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	_, err := e.Run(func(c congest.Context) {
+		msgs := c.RecvUntil(17)
+		if msgs != nil {
+			t.Errorf("got %v, want nil at deadline", msgs)
+		}
+		if c.Round() != 17 {
+			t.Errorf("resumed at round %d, want 17", c.Round())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestInboxSortedByPort(t *testing.T) {
+	g := path3(t)
+	e := NewEngine(g, Config{})
+	_, err := e.Run(func(c congest.Context) {
+		switch c.ID() {
+		case 0, 2:
+			c.Send(0, congest.Message{A: int64(c.ID())})
+		case 1:
+			msgs := c.Recv()
+			if len(msgs) != 2 {
+				t.Fatalf("got %d messages, want 2", len(msgs))
+			}
+			if msgs[0].Port != 0 || msgs[1].Port != 1 {
+				t.Errorf("ports = %d,%d, want 0,1", msgs[0].Port, msgs[1].Port)
+			}
+			if msgs[0].Msg.A != 0 || msgs[1].Msg.A != 2 {
+				t.Errorf("payloads = %d,%d, want 0,2", msgs[0].Msg.A, msgs[1].Msg.A)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinalSendsDelivered(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			c.Send(0, congest.Message{A: 5})
+			return // no Step after Send
+		}
+		msgs := c.Recv()
+		if len(msgs) != 1 || msgs[0].Msg.A != 5 {
+			t.Errorf("got %v, want A=5", msgs)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWeightVisible(t *testing.T) {
+	g := path3(t)
+	e := NewEngine(g, Config{})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 1 {
+			if w0, w1 := c.Weight(0), c.Weight(1); w0 != 1 || w1 != 2 {
+				t.Errorf("weights = %d,%d, want 1,2", w0, w1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestProgramPanicReported(t *testing.T) {
+	g := path3(t)
+	e := NewEngine(g, Config{})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 1 {
+			panic("boom")
+		}
+		c.Recv() // the others block; they must be drained, not leaked
+	})
+	if err == nil {
+		t.Fatal("err = nil, want panic report")
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{MaxRounds: 10})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			for {
+				c.Send(0, congest.Message{})
+				c.Step()
+			}
+		}
+		for {
+			c.Recv()
+		}
+	})
+	if !errors.Is(err, congest.ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestInvalidPort(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	_, err := e.Run(func(c congest.Context) {
+		if c.ID() == 0 {
+			c.Send(5, congest.Message{})
+		}
+	})
+	if err == nil {
+		t.Fatal("err = nil, want invalid-port error")
+	}
+}
+
+func TestEngineSingleUse(t *testing.T) {
+	g := pair(t)
+	e := NewEngine(g, Config{})
+	if _, err := e.Run(func(c congest.Context) {}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := e.Run(func(c congest.Context) {}); !errors.Is(err, congest.ErrReused) {
+		t.Fatalf("second Run err = %v, want ErrReused", err)
+	}
+}
+
+func TestTimerFiresDuringBusyRounds(t *testing.T) {
+	// While two processors keep the network busy every round, a third
+	// processor's RecvUntil deadline must still fire exactly on time.
+	g := path3(t)
+	e := NewEngine(g, Config{})
+	var wokeAt int64
+	_, err := e.Run(func(c congest.Context) {
+		switch c.ID() {
+		case 0:
+			for i := 0; i < 20; i++ {
+				c.Send(0, congest.Message{})
+				c.Step()
+			}
+		case 1:
+			for got := 0; got < 20; {
+				got += len(c.Recv())
+			}
+		case 2:
+			c.RecvUntil(7)
+			wokeAt = c.Round()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wokeAt != 7 {
+		t.Errorf("processor 2 woke at round %d, want 7", wokeAt)
+	}
+}
+
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		g := path3(t)
+		e := NewEngine(g, Config{Workers: 3})
+		_, err := e.Run(func(c congest.Context) {
+			if c.ID() == 0 {
+				c.Send(0, congest.Message{})
+			}
+			c.RecvUntil(3)
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	for i := 0; i < 50 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines: before=%d after=%d; node or worker goroutines leaked", before, after)
+	}
+}
+
+// floodProgram is a data-dependent min-id flood used to compare the
+// two engines delivery for delivery.
+func floodProgram(rounds int) func(congest.Context) {
+	return func(c congest.Context) {
+		best := int64(c.ID())
+		for r := 0; r < rounds; r++ {
+			// Vertices with an even current minimum skip a round, so
+			// activation is sparse and data-dependent.
+			if best%2 == 0 && r%3 == 2 {
+				c.Step()
+				continue
+			}
+			for p := 0; p < c.Degree(); p++ {
+				c.Send(p, congest.Message{Kind: byte(p % 5), A: best})
+			}
+			for _, in := range c.Step() {
+				if in.Msg.A < best {
+					best = in.Msg.A
+				}
+			}
+		}
+	}
+}
+
+// TestStatsMatchLockstep is the heart of the package contract: on the
+// same graph and program, parsim and congest must report bit-identical
+// Rounds, Messages and ByKind — including when the round width crosses
+// the inline/parallel threshold and for every worker count.
+func TestStatsMatchLockstep(t *testing.T) {
+	sizes := []struct{ n, m int }{{40, 100}, {300, 900}, {1500, 4000}}
+	if testing.Short() {
+		sizes = sizes[:2]
+	}
+	for _, sz := range sizes {
+		g, err := graph.RandomConnected(sz.n, sz.m, graph.GenOptions{Seed: uint64(sz.n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := floodProgram(12)
+		ref, err := congest.NewEngine(g, congest.Config{}).Run(func(c *congest.Ctx) { prog(c) })
+		if err != nil {
+			t.Fatalf("lockstep n=%d: %v", sz.n, err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			got, err := NewEngine(g, Config{Workers: workers}).Run(prog)
+			if err != nil {
+				t.Fatalf("parsim n=%d workers=%d: %v", sz.n, workers, err)
+			}
+			if *got != *ref {
+				t.Errorf("n=%d workers=%d: stats differ from lockstep:\nparsim:   %+v\nlockstep: %+v",
+					sz.n, workers, got, ref)
+			}
+		}
+	}
+}
+
+// TestDeterminismAcrossRuns repeats one parallel run and demands
+// byte-identical stats, whatever the goroutine interleaving did.
+func TestDeterminismAcrossRuns(t *testing.T) {
+	g, err := graph.RandomConnected(800, 2400, graph.GenOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *congest.Stats {
+		stats, err := NewEngine(g, Config{Workers: 4}).Run(floodProgram(10))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Errorf("stats differ between identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).MustGraph()
+	stats, err := NewEngine(g, Config{}).Run(func(c congest.Context) {
+		t.Error("program ran on an empty graph")
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Rounds != 0 || stats.Messages != 0 {
+		t.Errorf("stats = %+v, want zeros", stats)
+	}
+}

@@ -12,22 +12,37 @@ import (
 
 // MSTFromPorts converts per-vertex MST port lists into a set of edge
 // indices, requiring every reported edge to be marked at exactly two
-// endpoints.
+// endpoints. The result is in ascending edge-index order, so it is
+// deterministic (and identical across simulation engines).
 func MSTFromPorts(g *graph.Graph, ports [][]int) ([]int, error) {
-	marked := make(map[int]int)
+	// Two bits per edge, one per endpoint, so a vertex reporting the
+	// same port twice cannot impersonate the far endpoint's mark.
+	marked := make([]uint8, g.M())
 	for v, ps := range ports {
 		for _, p := range ps {
 			if p < 0 || p >= g.Degree(v) {
 				return nil, fmt.Errorf("verify: vertex %d reports invalid port %d", v, p)
 			}
-			marked[g.Adj(v)[p].Edge]++
+			ei := g.Adj(v)[p].Edge
+			bit := uint8(1)
+			if v == g.Edge(ei).V {
+				bit = 2
+			}
+			if marked[ei]&bit != 0 {
+				e := g.Edge(ei)
+				return nil, fmt.Errorf("verify: vertex %d reports edge (%d,%d) twice", v, e.U, e.V)
+			}
+			marked[ei] |= bit
 		}
 	}
-	edges := make([]int, 0, len(marked))
-	for ei, cnt := range marked {
-		if cnt != 2 {
+	edges := make([]int, 0, max(0, g.N()-1))
+	for ei, m := range marked {
+		if m == 0 {
+			continue
+		}
+		if m != 3 {
 			e := g.Edge(ei)
-			return nil, fmt.Errorf("verify: edge (%d,%d) marked at %d endpoints, want 2", e.U, e.V, cnt)
+			return nil, fmt.Errorf("verify: edge (%d,%d) marked at 1 of 2 endpoints", e.U, e.V)
 		}
 		edges = append(edges, ei)
 	}
