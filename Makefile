@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race bench-tables check
+.PHONY: all build fmt vet test test-short race bench-tables bench-cluster check
 
 all: check
 
@@ -19,15 +19,21 @@ vet:
 test:
 	$(GO) test ./...
 
-# Short mode skips the bench-table sweeps (e9-e11) so CI stays inside
+# Short mode skips the bench-table sweeps (e9-e12) so CI stays inside
 # its time budget; the full table regeneration is `make bench-tables`.
 test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/parsim/ ./internal/congest/ .
+	$(GO) test -race ./internal/parsim/ ./internal/congest/ ./internal/nettrans/ .
 
 bench-tables:
 	$(GO) run ./cmd/mstbench
+
+# The E12 cluster-transport race alone, guarded like the other sweeps:
+# quick scale here, the 64x64 grid plus BENCH_cluster.json via
+# `go run ./cmd/mstbench -full -e e12`.
+bench-cluster:
+	$(GO) run ./cmd/mstbench -e e12
 
 check: build fmt vet test-short

@@ -67,7 +67,7 @@ func BenchmarkElkinMST(b *testing.B) {
 	}
 	var rounds, msgs int64
 	for i := 0; i < b.N; i++ {
-		res, err := congestmst.Run(g, congestmst.Options{SkipVerify: true})
+		res, err := congestmst.Run(g, congestmst.Options{Verify: congestmst.VerifyOff})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func BenchmarkGHSMST(b *testing.B) {
 	}
 	var rounds, msgs int64
 	for i := 0; i < b.N; i++ {
-		res, err := congestmst.Run(g, congestmst.Options{Algorithm: congestmst.GHS, SkipVerify: true})
+		res, err := congestmst.Run(g, congestmst.Options{Algorithm: congestmst.GHS, Verify: congestmst.VerifyOff})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +103,7 @@ func BenchmarkPipelineMST(b *testing.B) {
 	}
 	var rounds, msgs int64
 	for i := 0; i < b.N; i++ {
-		res, err := congestmst.Run(g, congestmst.Options{Algorithm: congestmst.Pipeline, SkipVerify: true})
+		res, err := congestmst.Run(g, congestmst.Options{Algorithm: congestmst.Pipeline, Verify: congestmst.VerifyOff})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,3 +131,7 @@ func BenchmarkKruskal(b *testing.B) {
 // BenchmarkE10PipelineMessages regenerates the Pipeline message
 // separation table.
 func BenchmarkE10PipelineMessages(b *testing.B) { benchExperiment(b, "e10") }
+
+// BenchmarkE12ClusterTransport races the TCP cluster engine against
+// the lockstep engine at the quick scale.
+func BenchmarkE12ClusterTransport(b *testing.B) { benchExperiment(b, "e12") }

@@ -9,12 +9,14 @@
 //	mstrun -graph cylinder -rows 8 -cols 128 -alg elkin-fixed-k -b 4
 //	mstrun -graph pathmst -n 2048 -alg pipeline -edges
 //	mstrun -graph random -n 1000000 -m 3000000 -alg elkin -engine parallel
+//	mstrun -graph grid -rows 64 -cols 64 -alg elkin -engine cluster -shards 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"congestmst"
 )
@@ -31,8 +33,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		weights   = flag.String("weights", "distinct", "distinct | random | unit")
 		alg       = flag.String("alg", "elkin", "elkin | elkin-fixed-k | ghs | pipeline")
-		engine    = flag.String("engine", "lockstep", "simulation engine: lockstep | parallel")
+		engine    = flag.String("engine", "lockstep", "execution engine: lockstep | parallel | cluster")
 		workers   = flag.Int("workers", 0, "parallel engine worker pool size (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "cluster engine shard count (0 = min(4, n)); sockets = shards*(shards-1)/2")
 		bandwidth = flag.Int("b", 1, "CONGEST(b log n) bandwidth")
 		root      = flag.Int("root", 0, "BFS root vertex")
 		fixedK    = flag.Int("k", 0, "pinned k for elkin-fixed-k (0 = sqrt n)")
@@ -41,16 +44,16 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
-		*alg, *engine, *workers, *bandwidth, *root, *fixedK, *edges, *metrics); err != nil {
+		*alg, *engine, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "mstrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
-	weights, alg, engine string, workers, bandwidth, root, fixedK int, printEdges, printMetrics bool) error {
+	weights, alg, engine string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool) error {
 	var mode congestmst.WeightMode
-	switch weights {
+	switch normalize(weights) {
 	case "distinct":
 		mode = congestmst.WeightsDistinct
 	case "random":
@@ -58,13 +61,13 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 	case "unit":
 		mode = congestmst.WeightsUnit
 	default:
-		return fmt.Errorf("unknown weight mode %q", weights)
+		return fmt.Errorf("unknown weight mode %q (valid: distinct, random, unit)", weights)
 	}
 	opts := congestmst.GenOptions{Seed: seed, Weights: mode}
 
 	var g *congestmst.Graph
 	var err error
-	switch graphType {
+	switch normalize(graphType) {
 	case "random":
 		if m == 0 {
 			m = 4 * n
@@ -92,14 +95,14 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 		}
 		g, err = congestmst.PathMST(n, m-(n-1), opts)
 	default:
-		return fmt.Errorf("unknown graph type %q", graphType)
+		return fmt.Errorf("unknown graph type %q (valid: random, ring, path, grid, cylinder, complete, star, bintree, lollipop, pathmst)", graphType)
 	}
 	if err != nil {
 		return err
 	}
 
 	var algorithm congestmst.Algorithm
-	switch alg {
+	switch normalize(alg) {
 	case "elkin":
 		algorithm = congestmst.Elkin
 	case "elkin-fixed-k":
@@ -109,7 +112,7 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 	case "pipeline":
 		algorithm = congestmst.Pipeline
 	default:
-		return fmt.Errorf("unknown algorithm %q", alg)
+		return fmt.Errorf("unknown algorithm %q (valid: elkin, elkin-fixed-k, ghs, pipeline)", alg)
 	}
 
 	eng, err := congestmst.ParseEngine(engine)
@@ -122,6 +125,7 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 		Algorithm: algorithm,
 		Engine:    eng,
 		Workers:   workers,
+		Shards:    shards,
 		Bandwidth: bandwidth,
 		Root:      root,
 		FixedK:    fixedK,
@@ -139,7 +143,11 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 	fmt.Printf("engine    : %s\n", eng)
 	fmt.Printf("rounds    : %d\n", res.Rounds)
 	fmt.Printf("messages  : %d\n", res.Messages)
-	fmt.Printf("mst weight: %d (%d edges, verified against Kruskal)\n", res.Weight, len(res.MSTEdges))
+	check := "verified against Kruskal"
+	if g.M() > congestmst.VerifyAutoEdgeLimit {
+		check = fmt.Sprintf("structurally checked; Kruskal comparison skipped above %d edges", congestmst.VerifyAutoEdgeLimit)
+	}
+	fmt.Printf("mst weight: %d (%d edges, %s)\n", res.Weight, len(res.MSTEdges), check)
 	if res.K > 0 {
 		fmt.Printf("k         : %d\n", res.K)
 	}
@@ -159,3 +167,6 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 	}
 	return nil
 }
+
+// normalize makes the CLI switches case-insensitive.
+func normalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }

@@ -20,6 +20,7 @@ package congestmst
 
 import (
 	"fmt"
+	"strings"
 
 	"congestmst/internal/congest"
 	"congestmst/internal/core"
@@ -27,6 +28,7 @@ import (
 	"congestmst/internal/ghs"
 	"congestmst/internal/graph"
 	"congestmst/internal/mathx"
+	"congestmst/internal/nettrans"
 	"congestmst/internal/parsim"
 	"congestmst/internal/pipeline"
 	"congestmst/internal/verify"
@@ -68,16 +70,17 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Engine selects which simulation engine executes the run. Both
+// Engine selects which execution engine runs the program. All three
 // enforce the same CONGEST(b log n) model and report bit-identical
 // Rounds, Messages and per-kind statistics; they differ only in how
-// wall-clock time scales with the graph.
+// wall-clock time scales with the graph and in what carries the
+// messages.
 type Engine int
 
 const (
 	// Lockstep is the single-coordinator engine of internal/congest:
 	// lowest constant overhead, the default, and the reference
-	// implementation the parallel engine is validated against. Use it
+	// implementation the other engines are validated against. Use it
 	// for graphs up to roughly 10^5 vertices.
 	Lockstep Engine = iota
 	// Parallel is the event-driven engine of internal/parsim: sparse
@@ -86,6 +89,14 @@ const (
 	// Use it for large graphs (10^5 vertices and up) on multi-core
 	// hosts; at a million vertices it is the only practical option.
 	Parallel
+	// Cluster is the TCP engine of internal/nettrans: vertices are
+	// partitioned into shards (Options.Shards), each shard pair shares
+	// one loopback connection carrying length-prefixed frame batches,
+	// and idle rounds are skipped by a per-connection calendar
+	// announcement. Use it to exercise the algorithms over a real
+	// network transport; the socket count is Shards·(Shards-1)/2,
+	// independent of the number of edges.
+	Cluster
 )
 
 func (e Engine) String() string {
@@ -94,21 +105,25 @@ func (e Engine) String() string {
 		return "lockstep"
 	case Parallel:
 		return "parallel"
+	case Cluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
 }
 
-// ParseEngine converts a command-line engine name ("lockstep" or
-// "parallel") to an Engine.
+// ParseEngine converts a command-line engine name ("lockstep",
+// "parallel" or "cluster", case-insensitively) to an Engine.
 func ParseEngine(s string) (Engine, error) {
-	switch s {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "lockstep":
 		return Lockstep, nil
 	case "parallel":
 		return Parallel, nil
+	case "cluster":
+		return Cluster, nil
 	default:
-		return 0, fmt.Errorf("congestmst: unknown engine %q (want lockstep or parallel)", s)
+		return 0, fmt.Errorf("congestmst: unknown engine %q (valid: lockstep, parallel, cluster)", s)
 	}
 }
 
@@ -162,17 +177,45 @@ var (
 // base-forest parameter k.
 func NewForestTrace(n, k int) *ForestTrace { return forest.NewTrace(n, k) }
 
+// VerifyMode selects how much post-run checking Run performs on the
+// computed MST.
+type VerifyMode int
+
+const (
+	// VerifyAuto (the default) compares the output against Kruskal's
+	// MST on graphs up to VerifyAutoEdgeLimit edges and skips the
+	// O(m log m) ground-truth recomputation above it; the structural
+	// check (every reported edge marked at exactly both endpoints)
+	// always runs. Million-vertex runs thus stop paying for ground
+	// truth the test suite already proves at small scale.
+	VerifyAuto VerifyMode = iota
+	// VerifyFull always runs the Kruskal comparison, whatever the size.
+	VerifyFull
+	// VerifyOff skips the Kruskal comparison entirely (the structural
+	// check still runs — an inconsistent marking is always an error).
+	VerifyOff
+)
+
+// VerifyAutoEdgeLimit is the edge count above which VerifyAuto stops
+// recomputing the ground-truth MST.
+const VerifyAutoEdgeLimit = 1 << 18
+
 // Options configures a Run.
 type Options struct {
 	// Algorithm selects the MST algorithm (default Elkin).
 	Algorithm Algorithm
-	// Engine selects the simulation engine (default Lockstep). Both
+	// Engine selects the execution engine (default Lockstep). All
 	// engines produce identical results and statistics; Parallel
-	// scales to million-vertex graphs on multi-core hosts.
+	// scales to million-vertex graphs on multi-core hosts, Cluster
+	// runs over loopback TCP.
 	Engine Engine
 	// Workers sets the Parallel engine's worker-pool size (default
-	// GOMAXPROCS). Ignored by Lockstep.
+	// GOMAXPROCS). Ignored by the other engines.
 	Workers int
+	// Shards sets the Cluster engine's shard count; the run holds
+	// Shards·(Shards-1)/2 TCP connections (default min(4, n)). Ignored
+	// by the other engines.
+	Shards int
 	// Bandwidth is the CONGEST(b log n) parameter: messages per edge
 	// per direction per round (default 1, the standard CONGEST model).
 	Bandwidth int
@@ -188,10 +231,8 @@ type Options struct {
 	// ForestTrace, if non-nil, receives Controlled-GHS phase snapshots
 	// (Elkin and ElkinFixedK only).
 	ForestTrace *ForestTrace
-	// SkipVerify disables the post-run comparison against Kruskal's
-	// MST. Verification is on by default: a Result you receive without
-	// error is a proven-correct MST.
-	SkipVerify bool
+	// Verify selects the post-run check level (default VerifyAuto).
+	Verify VerifyMode
 }
 
 // Result reports a completed run.
@@ -219,8 +260,8 @@ var ErrDisconnected = graph.ErrDisconnected
 
 // Run executes the selected algorithm on g under the CONGEST(b log n)
 // model and returns the computed MST with its measured complexities.
-// Unless SkipVerify is set, the output is checked against Kruskal's
-// algorithm before returning.
+// The output is checked against Kruskal's algorithm before returning
+// as selected by Options.Verify.
 func Run(g *Graph, opts Options) (*Result, error) {
 	if g.N() > 0 && !g.Connected() {
 		return nil, ErrDisconnected
@@ -285,6 +326,12 @@ func Run(g *Graph, opts Options) (*Result, error) {
 			Workers:   opts.Workers,
 		})
 		stats, err = engine.Run(program)
+	case Cluster:
+		stats, err = nettrans.Run(g, nettrans.Config{
+			Bandwidth: opts.Bandwidth,
+			MaxRounds: opts.MaxRounds,
+			Shards:    opts.Shards,
+		}, program)
 	default:
 		return nil, fmt.Errorf("congestmst: unknown engine %v", opts.Engine)
 	}
@@ -301,8 +348,14 @@ func Run(g *Graph, opts Options) (*Result, error) {
 	}
 	res.MSTEdges = edges
 	res.Weight = g.TotalWeight(edges)
-	if !opts.SkipVerify {
-		if err := verify.CheckMST(g, ports); err != nil {
+	mode := opts.Verify
+	if mode == VerifyAuto && g.M() > VerifyAutoEdgeLimit {
+		mode = VerifyOff
+	}
+	if mode != VerifyOff {
+		// The edge list extracted above is threaded into the check, so
+		// the ports are walked once per run, not twice.
+		if err := verify.CheckEdges(g, edges); err != nil {
 			return nil, fmt.Errorf("congestmst: %s output failed verification: %w", opts.Algorithm, err)
 		}
 	}

@@ -2,6 +2,7 @@ package congestmst
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -149,5 +150,97 @@ func TestAlgorithmString(t *testing.T) {
 		if got := tt.a.String(); got != tt.want {
 			t.Errorf("%d.String() = %q, want %q", int(tt.a), got, tt.want)
 		}
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	tests := []struct {
+		e    Engine
+		want string
+	}{
+		{Lockstep, "lockstep"}, {Parallel, "parallel"}, {Cluster, "cluster"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.e), got, tt.want)
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	// Engine names parse case-insensitively and with surrounding space.
+	for in, want := range map[string]Engine{
+		"lockstep": Lockstep, "parallel": Parallel, "cluster": Cluster,
+		"LOCKSTEP": Lockstep, "Parallel": Parallel, " Cluster ": Cluster,
+	} {
+		got, err := ParseEngine(in)
+		if err != nil {
+			t.Errorf("ParseEngine(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseEngine(%q) = %v, want %v", in, got, want)
+		}
+	}
+	// Unknown names list the valid options.
+	_, err := ParseEngine("warp")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, name := range []string{"lockstep", "parallel", "cluster"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list option %q", err, name)
+		}
+	}
+}
+
+func TestRunClusterEngine(t *testing.T) {
+	g, err := RandomConnected(48, 144, GenOptions{Seed: 86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{Engine: Cluster, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res.Stats != *ref.Stats || res.Weight != ref.Weight {
+		t.Errorf("cluster run differs from lockstep: %+v vs %+v", res.Stats, ref.Stats)
+	}
+}
+
+func TestRunEmptyGraphAllEngines(t *testing.T) {
+	g := NewBuilder(0).MustGraph()
+	for _, eng := range []Engine{Lockstep, Parallel, Cluster} {
+		res, err := Run(g, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if len(res.MSTEdges) != 0 || res.Weight != 0 {
+			t.Errorf("%v: non-empty MST on empty graph: %+v", eng, res)
+		}
+	}
+}
+
+func TestVerifyModes(t *testing.T) {
+	g, err := RandomConnected(60, 180, GenOptions{Seed: 87})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Run(g, Options{})
+	if err != nil {
+		t.Fatalf("auto: %v", err)
+	}
+	full, err := Run(g, Options{Verify: VerifyFull})
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	off, err := Run(g, Options{Verify: VerifyOff})
+	if err != nil {
+		t.Fatalf("off: %v", err)
+	}
+	if auto.Weight != full.Weight || full.Weight != off.Weight {
+		t.Errorf("weights differ across verify modes: %d/%d/%d", auto.Weight, full.Weight, off.Weight)
 	}
 }

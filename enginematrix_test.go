@@ -7,11 +7,44 @@ import (
 	"congestmst"
 )
 
+// engineUnderTest configures one non-reference engine of the matrix:
+// Parallel with enough workers to force real cross-shard traffic, and
+// Cluster with enough shards to force real cross-socket traffic.
+var enginesUnderTest = []congestmst.Options{
+	{Engine: congestmst.Parallel, Workers: 3},
+	{Engine: congestmst.Cluster, Shards: 3},
+}
+
+// requireSameRun asserts the full cross-engine contract between a
+// reference result and another engine's result.
+func requireSameRun(t *testing.T, name string, ref, got *congestmst.Result) {
+	t.Helper()
+	if ref.Rounds != got.Rounds {
+		t.Errorf("Rounds: lockstep %d, %s %d", ref.Rounds, name, got.Rounds)
+	}
+	if ref.Messages != got.Messages {
+		t.Errorf("Messages: lockstep %d, %s %d", ref.Messages, name, got.Messages)
+	}
+	if *ref.Stats != *got.Stats {
+		t.Errorf("ByKind counters differ between lockstep and %s", name)
+	}
+	if ref.Weight != got.Weight {
+		t.Errorf("Weight: lockstep %d, %s %d", ref.Weight, name, got.Weight)
+	}
+	if len(ref.MSTEdges) != len(got.MSTEdges) {
+		t.Fatalf("MST sizes differ: %d vs %d", len(ref.MSTEdges), len(got.MSTEdges))
+	}
+	for i := range ref.MSTEdges {
+		if ref.MSTEdges[i] != got.MSTEdges[i] {
+			t.Fatalf("MST edge %d differs: %d vs %d", i, ref.MSTEdges[i], got.MSTEdges[i])
+		}
+	}
+}
+
 // TestEngineMatrixDeterminism is the cross-engine contract test: every
 // algorithm, on a matrix of topologies, must report identical Rounds,
 // Messages and per-kind counters (and the same MST) on the lockstep
-// and the parallel engine. Workers=3 forces real cross-shard traffic
-// in the parallel runs.
+// engine, the parallel engine, and the TCP cluster engine.
 func TestEngineMatrixDeterminism(t *testing.T) {
 	type gen struct {
 		name string
@@ -39,31 +72,14 @@ func TestEngineMatrixDeterminism(t *testing.T) {
 				if err != nil {
 					t.Fatalf("lockstep: %v", err)
 				}
-				par, err := congestmst.Run(gn.g, congestmst.Options{
-					Algorithm: alg, Engine: congestmst.Parallel, Workers: 3,
-				})
-				if err != nil {
-					t.Fatalf("parallel: %v", err)
-				}
-				if lock.Rounds != par.Rounds {
-					t.Errorf("Rounds: lockstep %d, parallel %d", lock.Rounds, par.Rounds)
-				}
-				if lock.Messages != par.Messages {
-					t.Errorf("Messages: lockstep %d, parallel %d", lock.Messages, par.Messages)
-				}
-				if *lock.Stats != *par.Stats {
-					t.Errorf("ByKind counters differ between engines")
-				}
-				if lock.Weight != par.Weight {
-					t.Errorf("Weight: lockstep %d, parallel %d", lock.Weight, par.Weight)
-				}
-				if len(lock.MSTEdges) != len(par.MSTEdges) {
-					t.Fatalf("MST sizes differ: %d vs %d", len(lock.MSTEdges), len(par.MSTEdges))
-				}
-				for i := range lock.MSTEdges {
-					if lock.MSTEdges[i] != par.MSTEdges[i] {
-						t.Fatalf("MST edge %d differs: %d vs %d", i, lock.MSTEdges[i], par.MSTEdges[i])
+				for _, eng := range enginesUnderTest {
+					opts := eng
+					opts.Algorithm = alg
+					got, err := congestmst.Run(gn.g, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", opts.Engine, err)
 					}
+					requireSameRun(t, opts.Engine.String(), lock, got)
 				}
 			})
 		}
@@ -72,7 +88,7 @@ func TestEngineMatrixDeterminism(t *testing.T) {
 
 // TestEngineMatrixBandwidth repeats a slice of the matrix under
 // CONGEST(b log n) bandwidth to cover the b > 1 accounting paths of
-// both engines.
+// all three engines.
 func TestEngineMatrixBandwidth(t *testing.T) {
 	g, err := congestmst.RandomConnected(80, 240, congestmst.GenOptions{Seed: 9})
 	if err != nil {
@@ -83,13 +99,52 @@ func TestEngineMatrixBandwidth(t *testing.T) {
 		if err != nil {
 			t.Fatalf("lockstep b=%d: %v", b, err)
 		}
-		par, err := congestmst.Run(g, congestmst.Options{Bandwidth: b, Engine: congestmst.Parallel, Workers: 2})
-		if err != nil {
-			t.Fatalf("parallel b=%d: %v", b, err)
+		for _, eng := range enginesUnderTest {
+			opts := eng
+			opts.Bandwidth = b
+			got, err := congestmst.Run(g, opts)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", opts.Engine, b, err)
+			}
+			if *lock.Stats != *got.Stats {
+				t.Errorf("b=%d: stats differ between lockstep and %s:\nlockstep: %+v\n%s: %+v",
+					b, opts.Engine, lock.Stats, opts.Engine, got.Stats)
+			}
 		}
-		if *lock.Stats != *par.Stats {
-			t.Errorf("b=%d: stats differ between engines:\nlockstep: %+v\nparallel: %+v",
-				b, lock.Stats, par.Stats)
-		}
+	}
+}
+
+// TestClusterEngineLargeGraph is the scaling acceptance test for the
+// cluster engine: all four algorithms on a random graph with m = 10^4
+// edges, over real loopback TCP, with stats bit-identical to lockstep.
+// The retired per-edge transport needed one socket per edge (10^4 fds,
+// beyond default rlimits); the shard mesh holds 6.
+func TestClusterEngineLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large cluster matrix skipped in short mode")
+	}
+	g, err := congestmst.RandomConnected(1250, 10_000, congestmst.GenOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
+	}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			lock, err := congestmst.Run(g, congestmst.Options{
+				Algorithm: alg, Engine: congestmst.Lockstep,
+			})
+			if err != nil {
+				t.Fatalf("lockstep: %v", err)
+			}
+			clu, err := congestmst.Run(g, congestmst.Options{
+				Algorithm: alg, Engine: congestmst.Cluster, Shards: 4,
+			})
+			if err != nil {
+				t.Fatalf("cluster: %v", err)
+			}
+			requireSameRun(t, "cluster", lock, clu)
+		})
 	}
 }

@@ -1,7 +1,7 @@
-// Package bench defines the reproduction experiments of DESIGN.md
-// (E1-E8): one per claim of the paper, each regenerating a table that
-// EXPERIMENTS.md records. The same definitions back cmd/mstbench and
-// the root-level testing.B benchmarks.
+// Package bench defines the reproduction experiments (E1-E12): one per
+// claim of the paper plus the engine races, each regenerating a table
+// that EXPERIMENTS.md records. The same definitions back cmd/mstbench
+// and the root-level testing.B benchmarks.
 //
 // The paper is a theory paper with no empirical tables, so the "tables"
 // reproduced here are its complexity claims: each experiment reports
@@ -23,9 +23,9 @@ import (
 	"congestmst/internal/parsim"
 )
 
-// DefaultEngine is the simulation engine every experiment runs on
-// (mstbench -engine). E11 ignores it: it measures both engines
-// against each other by definition.
+// DefaultEngine is the execution engine every experiment runs on
+// (mstbench -engine). E11 and E12 ignore it: each measures its own
+// engine pair against each other by definition.
 var DefaultEngine = congestmst.Lockstep
 
 // Table is one experiment's rendered result.
@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"e9", "Time separation vs GHS on its adversarial workload (Section 1.1)", E9GHSAdversary},
 		{"e10", "Message separation vs Pipeline-MST (Section 1.1)", E10PipelineMessages},
 		{"e11", "Engine scaling: parsim vs lockstep up to 10^6 vertices", E11ParsimScaling},
+		{"e12", "Cluster transport: TCP shard mesh vs lockstep", E12ClusterTransport},
 	}
 }
 

@@ -1,0 +1,139 @@
+package nettrans
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"congestmst/internal/congest"
+)
+
+// Wire format: each shard pair's connection carries one length-prefixed
+// batch per direction per agreed (busy) round.
+//
+//	u32  payload length
+//	u64  round   — the agreed round the sender just executed
+//	i64  next    — the sender's calendar announcement (Forever = idle)
+//	u32  live    — the sender's local programs still running
+//	u32  count   — message frames that follow
+//	count × frame
+//
+// A frame is tagged with (src, port) — the sending vertex and its local
+// port — and the receiver resolves the destination vertex and port
+// through the shared graph.CSR, so frames stay 41 bytes at any graph
+// size.
+//
+//	u32  src
+//	u32  port
+//	u8   kind
+//	4×i64 payload words A..D
+const (
+	batchHeaderSize = 8 + 8 + 4 + 4
+	frameSize       = 4 + 4 + 1 + 4*8
+
+	// maxBatchPayload is a decoding sanity bound: a batch larger than
+	// this is a protocol error, not a read to attempt.
+	maxBatchPayload = 1 << 30
+)
+
+// wireMsg is one frame: source vertex, source port, payload.
+type wireMsg struct {
+	src  int32
+	port int32
+	msg  congest.Message
+}
+
+// batch is one decoded wire batch (or a read failure).
+type batch struct {
+	round int64
+	next  int64
+	live  uint32
+	msgs  []wireMsg
+	err   error
+}
+
+// appendBatch encodes one batch onto buf (reusing its capacity) and
+// returns the extended slice, length prefix included.
+func appendBatch(buf []byte, round, next int64, live uint32, msgs []wireMsg) []byte {
+	payload := batchHeaderSize + len(msgs)*frameSize
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(round))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(next))
+	buf = binary.LittleEndian.AppendUint32(buf, live)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msgs)))
+	for _, wm := range msgs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(wm.src))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(wm.port))
+		buf = append(buf, wm.msg.Kind)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(wm.msg.A))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(wm.msg.B))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(wm.msg.C))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(wm.msg.D))
+	}
+	return buf
+}
+
+// batchReader decodes batches off one connection, reusing its payload
+// buffer between reads.
+type batchReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newBatchReader(r io.Reader) *batchReader {
+	return &batchReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (br *batchReader) read() (*batch, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br.r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	payload := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if payload < batchHeaderSize || payload > maxBatchPayload ||
+		(payload-batchHeaderSize)%frameSize != 0 {
+		return nil, fmt.Errorf("nettrans: malformed batch length %d", payload)
+	}
+	if cap(br.buf) < payload {
+		br.buf = make([]byte, payload)
+	}
+	buf := br.buf[:payload]
+	if _, err := io.ReadFull(br.r, buf); err != nil {
+		return nil, err
+	}
+	return decodeBatch(buf)
+}
+
+// decodeBatch parses one payload (everything after the length prefix).
+// The returned batch owns its frames; buf may be reused by the caller.
+func decodeBatch(buf []byte) (*batch, error) {
+	b := &batch{
+		round: int64(binary.LittleEndian.Uint64(buf[0:])),
+		next:  int64(binary.LittleEndian.Uint64(buf[8:])),
+		live:  binary.LittleEndian.Uint32(buf[16:]),
+	}
+	count := int(binary.LittleEndian.Uint32(buf[20:]))
+	if count*frameSize != len(buf)-batchHeaderSize {
+		return nil, fmt.Errorf("nettrans: batch count %d does not match payload size %d", count, len(buf))
+	}
+	if count == 0 {
+		return b, nil
+	}
+	b.msgs = make([]wireMsg, count)
+	for i := 0; i < count; i++ {
+		f := buf[batchHeaderSize+i*frameSize:]
+		b.msgs[i] = wireMsg{
+			src:  int32(binary.LittleEndian.Uint32(f[0:])),
+			port: int32(binary.LittleEndian.Uint32(f[4:])),
+			msg: congest.Message{
+				Kind: f[8],
+				A:    int64(binary.LittleEndian.Uint64(f[9:])),
+				B:    int64(binary.LittleEndian.Uint64(f[17:])),
+				C:    int64(binary.LittleEndian.Uint64(f[25:])),
+				D:    int64(binary.LittleEndian.Uint64(f[33:])),
+			},
+		}
+	}
+	return b, nil
+}

@@ -1,78 +1,100 @@
 package nettrans
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
 	"congestmst/internal/congest"
 )
 
-// TestFrameRoundTrip exercises encodeFrame/decodeFrame directly for
-// all three frame types across boundary payloads; until now the wire
-// format was only tested indirectly through full TCP runs.
-func TestFrameRoundTrip(t *testing.T) {
-	msgs := []congest.Message{
-		{},
-		{Kind: 1, A: 42},
-		{Kind: 255, A: math.MaxInt64, B: math.MinInt64, C: -1, D: 1},
-		{Kind: 7, A: -42, B: 0, C: math.MaxInt64 - 1, D: math.MinInt64 + 1},
+// TestBatchRoundTrip encodes batches across boundary payloads and
+// decodes them back through the streaming reader, pinning the wire
+// format end to end.
+func TestBatchRoundTrip(t *testing.T) {
+	cases := []struct {
+		round, next int64
+		live        uint32
+		msgs        []wireMsg
+	}{
+		{0, 1, 3, nil},
+		{1, congest.Forever, 0, nil},
+		{7, 12, 2, []wireMsg{{src: 0, port: 0, msg: congest.Message{Kind: 1, A: 42}}}},
+		{1 << 40, math.MaxInt64, 1 << 20, []wireMsg{
+			{src: math.MaxInt32, port: 0, msg: congest.Message{Kind: 255, A: math.MaxInt64, B: math.MinInt64, C: -1, D: 1}},
+			{src: 3, port: 9, msg: congest.Message{Kind: 7, A: -42, C: math.MaxInt64 - 1, D: math.MinInt64 + 1}},
+			{src: 5, port: 2, msg: congest.Message{}},
+		}},
 	}
-	rounds := []int64{0, 1, 1 << 40, math.MaxInt64}
-	for _, ftype := range []byte{frameMsg, frameEOR, frameFin} {
-		for _, m := range msgs {
-			for _, round := range rounds {
-				var buf [frameSize]byte
-				encodeFrame(&buf, ftype, m, round)
-				gotType, gotMsg, gotRound := decodeFrame(&buf)
-				if gotType != ftype {
-					t.Errorf("type: got %d, want %d", gotType, ftype)
-				}
-				if gotMsg != m {
-					t.Errorf("msg: got %+v, want %+v", gotMsg, m)
-				}
-				if gotRound != round {
-					t.Errorf("round: got %d, want %d", gotRound, round)
-				}
+	var wire bytes.Buffer
+	for _, c := range cases {
+		wire.Write(appendBatch(nil, c.round, c.next, c.live, c.msgs))
+	}
+	br := newBatchReader(&wire)
+	for i, c := range cases {
+		b, err := br.read()
+		if err != nil {
+			t.Fatalf("case %d: read: %v", i, err)
+		}
+		if b.round != c.round || b.next != c.next || b.live != c.live {
+			t.Errorf("case %d: header (%d,%d,%d), want (%d,%d,%d)",
+				i, b.round, b.next, b.live, c.round, c.next, c.live)
+		}
+		if len(b.msgs) != len(c.msgs) {
+			t.Fatalf("case %d: %d msgs, want %d", i, len(b.msgs), len(c.msgs))
+		}
+		for j := range c.msgs {
+			if b.msgs[j] != c.msgs[j] {
+				t.Errorf("case %d msg %d: got %+v, want %+v", i, j, b.msgs[j], c.msgs[j])
 			}
 		}
 	}
 }
 
-// TestFrameSize pins the wire layout: type byte, kind byte, round, and
-// four payload words.
-func TestFrameSize(t *testing.T) {
-	if frameSize != 1+1+8+4*8 {
-		t.Errorf("frameSize = %d, want %d", frameSize, 1+1+8+4*8)
+// TestBatchSizes pins the wire layout: 24-byte batch header and 41-byte
+// frames tagged (src, port).
+func TestBatchSizes(t *testing.T) {
+	if batchHeaderSize != 8+8+4+4 {
+		t.Errorf("batchHeaderSize = %d, want %d", batchHeaderSize, 8+8+4+4)
 	}
-	// The encoder must touch every byte: flood the buffer first and
-	// check nothing stale survives a zero-value encode at round 0.
-	var buf [frameSize]byte
-	for i := range buf {
-		buf[i] = 0xAA
+	if frameSize != 4+4+1+4*8 {
+		t.Errorf("frameSize = %d, want %d", frameSize, 4+4+1+4*8)
 	}
-	encodeFrame(&buf, frameMsg, congest.Message{}, 0)
-	for i, b := range buf {
-		if b != 0 {
-			t.Errorf("byte %d = %#x after zero encode, want 0", i, b)
-		}
+	msgs := []wireMsg{{src: 1, port: 2, msg: congest.Message{Kind: 3}}}
+	buf := appendBatch(nil, 0, 1, 1, msgs)
+	if len(buf) != 4+batchHeaderSize+frameSize {
+		t.Errorf("encoded batch is %d bytes, want %d", len(buf), 4+batchHeaderSize+frameSize)
+	}
+	if got := binary.LittleEndian.Uint32(buf); int(got) != batchHeaderSize+frameSize {
+		t.Errorf("length prefix %d, want %d", got, batchHeaderSize+frameSize)
 	}
 }
 
-// TestFrameDistinguishesTypes ensures the three frame types stay
-// distinct on the wire (a FIN mistaken for an EOR would silently end
-// rounds early).
-func TestFrameDistinguishesTypes(t *testing.T) {
-	seen := map[byte]bool{}
-	for _, ftype := range []byte{frameMsg, frameEOR, frameFin} {
-		if seen[ftype] {
-			t.Fatalf("duplicate frame type %d", ftype)
-		}
-		seen[ftype] = true
-		var buf [frameSize]byte
-		encodeFrame(&buf, ftype, congest.Message{Kind: 9}, 5)
-		got, _, _ := decodeFrame(&buf)
-		if got != ftype {
-			t.Errorf("round-trip changed type: got %d, want %d", got, ftype)
-		}
+// TestBatchReaderRejectsMalformed feeds corrupted length prefixes and
+// counts; the reader must error rather than mis-frame the stream.
+func TestBatchReaderRejectsMalformed(t *testing.T) {
+	// Payload length not a whole number of frames.
+	var wire bytes.Buffer
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], batchHeaderSize+1)
+	wire.Write(lenBuf[:])
+	wire.Write(make([]byte, batchHeaderSize+1))
+	if _, err := newBatchReader(&wire).read(); err == nil {
+		t.Error("ragged payload length accepted")
+	}
+
+	// Count field disagreeing with the payload size.
+	good := appendBatch(nil, 0, 1, 1, []wireMsg{{src: 1}})
+	bad := bytes.Clone(good)
+	binary.LittleEndian.PutUint32(bad[4+20:], 2) // claim two frames, carry one
+	if _, err := newBatchReader(bytes.NewReader(bad)).read(); err == nil {
+		t.Error("count/payload mismatch accepted")
+	}
+
+	// Absurd length prefix.
+	binary.LittleEndian.PutUint32(lenBuf[:], maxBatchPayload+1)
+	if _, err := newBatchReader(bytes.NewReader(lenBuf[:])).read(); err == nil {
+		t.Error("oversized batch length accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package nettrans
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -11,11 +12,46 @@ import (
 	"congestmst/internal/verify"
 )
 
+// runWithTimeout guards every cluster run in this file: a transport bug
+// must fail the test, not hang the suite.
+func runWithTimeout(t *testing.T, d time.Duration, g *graph.Graph, cfg Config,
+	program func(congest.Context)) (*congest.Stats, error) {
+	t.Helper()
+	type result struct {
+		stats *congest.Stats
+		err   error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		stats, err := Run(g, cfg, program)
+		ch <- result{stats, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.stats, r.err
+	case <-time.After(d):
+		t.Fatal("cluster run hung")
+		return nil, nil
+	}
+}
+
+// lockstepStats runs the same program on the reference engine.
+func lockstepStats(t *testing.T, g *graph.Graph, bandwidth int,
+	program func(congest.Context)) *congest.Stats {
+	t.Helper()
+	eng := congest.NewEngine(g, congest.Config{Bandwidth: bandwidth})
+	stats, err := eng.Run(func(ctx *congest.Ctx) { program(ctx) })
+	if err != nil {
+		t.Fatalf("lockstep: %v", err)
+	}
+	return stats
+}
+
 func TestPingPongOverTCP(t *testing.T) {
 	b := graph.NewBuilder(2)
 	b.AddEdge(0, 1, 7)
 	g := b.MustGraph()
-	stats, err := Run(g, 1, func(ctx congest.Context) {
+	stats, err := runWithTimeout(t, 30*time.Second, g, Config{Shards: 2}, func(ctx congest.Context) {
 		if ctx.ID() == 0 {
 			ctx.Send(0, congest.Message{Kind: 5, A: 42})
 			msgs := ctx.Recv()
@@ -36,20 +72,22 @@ func TestPingPongOverTCP(t *testing.T) {
 	if stats.Messages != 2 {
 		t.Errorf("Messages = %d, want 2", stats.Messages)
 	}
-	if stats.Rounds < 2 {
-		t.Errorf("Rounds = %d, want >= 2", stats.Rounds)
+	if stats.ByKind[5] != 2 {
+		t.Errorf("ByKind[5] = %d, want 2", stats.ByKind[5])
+	}
+	if stats.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", stats.Rounds)
 	}
 }
 
 func TestWeightAndRoundSemantics(t *testing.T) {
 	g := graph.Path(3, graph.GenOptions{})
-	_, err := Run(g, 1, func(ctx congest.Context) {
+	_, err := runWithTimeout(t, 30*time.Second, g, Config{Shards: 3}, func(ctx congest.Context) {
 		if ctx.ID() == 1 {
 			if ctx.Weight(0) != ctx.Weight(0) || ctx.Degree() != 2 {
 				t.Error("weight/degree broken")
 			}
 		}
-		// Everyone steps a few rounds in lockstep.
 		for i := 0; i < 5; i++ {
 			before := ctx.Round()
 			ctx.Step()
@@ -67,53 +105,37 @@ func TestBandwidthEnforcedOverTCP(t *testing.T) {
 	b := graph.NewBuilder(2)
 	b.AddEdge(0, 1, 1)
 	g := b.MustGraph()
-	_, err := Run(g, 1, func(ctx congest.Context) {
+	_, err := runWithTimeout(t, 30*time.Second, g, Config{Shards: 2}, func(ctx congest.Context) {
 		if ctx.ID() == 0 {
 			ctx.Send(0, congest.Message{})
 			ctx.Send(0, congest.Message{}) // second on same port, b=1
 		}
 		ctx.Step()
 	})
-	if err == nil {
-		t.Fatal("bandwidth violation not reported")
+	if !errors.Is(err, congest.ErrBandwidth) {
+		t.Fatalf("bandwidth violation not reported: %v", err)
 	}
 }
 
-// TestElkinOverTCPMatchesSimulator is the transport-independence proof:
-// the full paper algorithm runs over real TCP sockets and produces the
-// identical MST, round count, and algorithm-message count as the
-// in-process simulator.
+// TestElkinOverTCPMatchesSimulator is the engine-parity proof on the
+// paper's algorithm: identical MST ports and bit-identical stats —
+// including Rounds, which the old per-edge synchronizer could only
+// bound from below because it paid for idle rounds.
 func TestElkinOverTCPMatchesSimulator(t *testing.T) {
 	g := graph.Grid(4, 4, graph.GenOptions{Seed: 77})
 
-	// Simulator run.
 	simPorts := make([][]int, g.N())
-	eng := congest.NewEngine(g, congest.Config{})
-	simStats, err := eng.Run(func(ctx *congest.Ctx) {
+	program := func(ctx congest.Context) {
 		simPorts[ctx.ID()] = core.Run(ctx, core.Config{}).MSTPorts
+	}
+	simStats := lockstepStats(t, g, 1, program)
+
+	tcpPorts := make([][]int, g.N())
+	tcpStats, err := runWithTimeout(t, 120*time.Second, g, Config{Shards: 3}, func(ctx congest.Context) {
+		tcpPorts[ctx.ID()] = core.Run(ctx, core.Config{}).MSTPorts
 	})
 	if err != nil {
-		t.Fatalf("simulator: %v", err)
-	}
-
-	// TCP run of the same program.
-	tcpPorts := make([][]int, g.N())
-	done := make(chan struct{})
-	var tcpStats *Stats
-	var tcpErr error
-	go func() {
-		defer close(done)
-		tcpStats, tcpErr = Run(g, 1, func(ctx congest.Context) {
-			tcpPorts[ctx.ID()] = core.Run(ctx, core.Config{}).MSTPorts
-		})
-	}()
-	select {
-	case <-done:
-	case <-time.After(120 * time.Second):
-		t.Fatal("TCP run hung")
-	}
-	if tcpErr != nil {
-		t.Fatalf("tcp: %v", tcpErr)
+		t.Fatalf("tcp: %v", err)
 	}
 
 	if err := verify.CheckMST(g, tcpPorts); err != nil {
@@ -129,13 +151,9 @@ func TestElkinOverTCPMatchesSimulator(t *testing.T) {
 			}
 		}
 	}
-	if tcpStats.Messages != simStats.Messages {
-		t.Errorf("message counts differ: tcp=%d sim=%d", tcpStats.Messages, simStats.Messages)
-	}
-	// The TCP transport cannot skip idle rounds, so its final round can
-	// only match or exceed the simulator's last busy round.
-	if tcpStats.Rounds < simStats.Rounds {
-		t.Errorf("tcp rounds %d < simulator rounds %d", tcpStats.Rounds, simStats.Rounds)
+	if *tcpStats != *simStats {
+		t.Errorf("stats differ:\ntcp: rounds=%d msgs=%d\nsim: rounds=%d msgs=%d",
+			tcpStats.Rounds, tcpStats.Messages, simStats.Rounds, simStats.Messages)
 	}
 }
 
@@ -146,58 +164,251 @@ func TestGHSOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	ports := make([][]int, g.N())
-	done := make(chan struct{})
-	var runErr error
-	go func() {
-		defer close(done)
-		_, runErr = Run(g, 1, func(ctx congest.Context) {
-			ports[ctx.ID()] = ghs.Run(ctx).MSTPorts
-		})
-	}()
-	select {
-	case <-done:
-	case <-time.After(60 * time.Second):
-		t.Fatal("TCP GHS hung")
+	program := func(ctx congest.Context) {
+		ports[ctx.ID()] = ghs.Run(ctx).MSTPorts
 	}
-	if runErr != nil {
-		t.Fatalf("Run: %v", runErr)
+	simStats := lockstepStats(t, g, 1, program)
+	tcpStats, err := runWithTimeout(t, 60*time.Second, g, Config{Shards: 4}, program)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
 	}
 	if err := verify.CheckMST(g, ports); err != nil {
 		t.Errorf("GHS-over-TCP MST invalid: %v", err)
 	}
+	if *tcpStats != *simStats {
+		t.Errorf("GHS stats differ: tcp rounds=%d msgs=%d, sim rounds=%d msgs=%d",
+			tcpStats.Rounds, tcpStats.Messages, simStats.Rounds, simStats.Messages)
+	}
 }
 
-func TestSingleVertexOverTCP(t *testing.T) {
-	g := graph.Path(1, graph.GenOptions{})
-	_, err := Run(g, 1, func(ctx congest.Context) {
-		if ctx.Degree() != 0 || ctx.ID() != 0 {
-			t.Error("bad singleton context")
+// TestDegenerateInputs is the degenerate-input matrix mirrored from the
+// simulator suites: empty graph, singleton, single edge, bandwidth > 1,
+// and a program that returns at round 0.
+func TestDegenerateInputs(t *testing.T) {
+	t.Run("n=0", func(t *testing.T) {
+		g := graph.NewBuilder(0).MustGraph()
+		stats, err := runWithTimeout(t, 10*time.Second, g, Config{}, func(congest.Context) {
+			t.Error("program ran on empty graph")
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if stats.Rounds != 0 || stats.Messages != 0 {
+			t.Errorf("stats = %d/%d, want 0/0", stats.Rounds, stats.Messages)
 		}
 	})
+	t.Run("n=1", func(t *testing.T) {
+		g := graph.Path(1, graph.GenOptions{})
+		stats, err := runWithTimeout(t, 10*time.Second, g, Config{Shards: 8}, func(ctx congest.Context) {
+			if ctx.Degree() != 0 || ctx.ID() != 0 {
+				t.Error("bad singleton context")
+			}
+			ctx.Step()
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if stats.Rounds != 1 {
+			t.Errorf("Rounds = %d, want 1", stats.Rounds)
+		}
+	})
+	t.Run("single-edge", func(t *testing.T) {
+		b := graph.NewBuilder(2)
+		b.AddEdge(0, 1, 3)
+		g := b.MustGraph()
+		program := func(ctx congest.Context) {
+			ctx.Send(0, congest.Message{Kind: 9, A: int64(ctx.ID())})
+			msgs := ctx.Step()
+			if len(msgs) != 1 || msgs[0].Msg.A != int64(1-ctx.ID()) {
+				t.Errorf("vertex %d got %v", ctx.ID(), msgs)
+			}
+		}
+		want := lockstepStats(t, g, 1, program)
+		got, err := runWithTimeout(t, 10*time.Second, g, Config{Shards: 2}, program)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if *got != *want {
+			t.Errorf("stats differ from lockstep")
+		}
+	})
+	t.Run("bandwidth=3", func(t *testing.T) {
+		b := graph.NewBuilder(2)
+		b.AddEdge(0, 1, 1)
+		g := b.MustGraph()
+		program := func(ctx congest.Context) {
+			for i := int64(0); i < 3; i++ {
+				ctx.Send(0, congest.Message{Kind: 2, A: i})
+			}
+			msgs := ctx.Step()
+			if len(msgs) != 3 {
+				t.Fatalf("vertex %d got %d msgs, want 3", ctx.ID(), len(msgs))
+			}
+			for i, in := range msgs {
+				if in.Msg.A != int64(i) {
+					t.Errorf("per-port FIFO broken: msg %d carries %d", i, in.Msg.A)
+				}
+			}
+		}
+		want := lockstepStats(t, g, 3, program)
+		got, err := runWithTimeout(t, 10*time.Second, g, Config{Bandwidth: 3, Shards: 2}, program)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if *got != *want {
+			t.Errorf("stats differ from lockstep")
+		}
+	})
+	t.Run("return-at-round-0", func(t *testing.T) {
+		g := graph.Ring(8, graph.GenOptions{Seed: 5})
+		stats, err := runWithTimeout(t, 10*time.Second, g, Config{Shards: 3}, func(ctx congest.Context) {
+			ctx.Send(0, congest.Message{Kind: 1}) // sent, delivered to finished peers, still counted
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if stats.Rounds != 0 {
+			t.Errorf("Rounds = %d, want 0", stats.Rounds)
+		}
+		if stats.Messages != 8 {
+			t.Errorf("Messages = %d, want 8", stats.Messages)
+		}
+	})
+}
+
+// TestIdleRoundSkipping is the synchronizer's reason to exist: a
+// 100000-round RecvUntil stretch with no traffic must cost a handful of
+// wire exchanges, not 100000 of them — while Stats.Rounds still reports
+// the deadline round the program observed, exactly like the simulators.
+func TestIdleRoundSkipping(t *testing.T) {
+	const deadline = 100_000
+	g := graph.Path(4, graph.GenOptions{})
+	program := func(ctx congest.Context) {
+		if ctx.ID() == 0 {
+			if msgs := ctx.RecvUntil(deadline); msgs != nil {
+				t.Errorf("vertex 0 woke with %v", msgs)
+			}
+			if ctx.Round() != deadline {
+				t.Errorf("vertex 0 resumed at %d, want %d", ctx.Round(), deadline)
+			}
+		}
+	}
+	want := lockstepStats(t, g, 1, program)
+	start := time.Now()
+	got, err := runWithTimeout(t, 20*time.Second, g, Config{Shards: 2}, program)
+	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
+	}
+	if *got != *want {
+		t.Errorf("stats differ: tcp rounds=%d, lockstep rounds=%d", got.Rounds, want.Rounds)
+	}
+	if got.Rounds != deadline {
+		t.Errorf("Rounds = %d, want %d", got.Rounds, deadline)
+	}
+	// The old per-edge synchronizer paid ~100000 wire round-trips here
+	// (minutes); the calendar announcement makes it two exchanges.
+	if elapsed > 5*time.Second {
+		t.Errorf("idle stretch took %v: idle rounds are not being skipped", elapsed)
+	}
+}
+
+// TestSocketBudget pins the fd math: the mesh holds exactly
+// Shards·(Shards-1)/2 connections however many edges the graph has.
+func TestSocketBudget(t *testing.T) {
+	g, err := graph.RandomConnected(64, 512, graph.GenOptions{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := newCluster(g, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.sockets(), 4*3/2; got != want {
+		t.Errorf("mesh holds %d sockets, want %d (m=%d edges)", got, want, g.M())
+	}
+	if got := c.sockets(); got > 4*4 {
+		t.Errorf("socket budget exceeded: %d > shards²", got)
+	}
+	stats, err := c.run(func(ctx congest.Context) { ctx.Step() })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stats.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", stats.Rounds)
 	}
 }
 
 func TestProgramPanicOverTCP(t *testing.T) {
 	g := graph.Path(3, graph.GenOptions{})
-	done := make(chan struct{})
-	var err error
-	go func() {
-		defer close(done)
-		_, err = Run(g, 1, func(ctx congest.Context) {
-			if ctx.ID() == 1 {
-				panic("boom")
-			}
-			ctx.Recv() // must unwind when the neighbor dies
-		})
-	}()
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
-		t.Fatal("panic did not unwind the cluster")
-	}
+	_, err := runWithTimeout(t, 30*time.Second, g, Config{Shards: 3}, func(ctx congest.Context) {
+		if ctx.ID() == 1 {
+			panic("boom")
+		}
+		ctx.Recv() // must unwind when the neighbor dies
+	})
 	if err == nil {
 		t.Fatal("panic not reported")
+	}
+}
+
+// TestFaultInjectionConnKill severs one shard-pair connection in the
+// middle of a long run; Run must return an error instead of hanging,
+// and every goroutine must unwind.
+func TestFaultInjectionConnKill(t *testing.T) {
+	g := graph.Ring(12, graph.GenOptions{Seed: 3})
+	c, err := newCluster(g, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		c.shards[1].links[0].conn.Close() // the fault: a vertex's transport dies mid-run
+	}()
+	type result struct {
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		_, err := c.run(func(ctx congest.Context) {
+			for { // step forever; only the injected fault can end this
+				ctx.Step()
+			}
+		})
+		ch <- result{err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err == nil {
+			t.Fatal("severed connection not reported")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("severed connection hung the cluster")
+	}
+}
+
+// TestDeadlockDetectedOverTCP: all programs blocked in Recv with no
+// traffic possible must surface as ErrDeadlock, agreed by every shard.
+func TestDeadlockDetectedOverTCP(t *testing.T) {
+	g := graph.Path(4, graph.GenOptions{})
+	_, err := runWithTimeout(t, 30*time.Second, g, Config{Shards: 2}, func(ctx congest.Context) {
+		ctx.Recv()
+	})
+	if !errors.Is(err, congest.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+// TestMaxRoundsOverTCP: the runaway guard must trip on the agreed
+// round, like the simulators.
+func TestMaxRoundsOverTCP(t *testing.T) {
+	g := graph.Path(2, graph.GenOptions{})
+	_, err := runWithTimeout(t, 30*time.Second, g, Config{Shards: 2, MaxRounds: 64}, func(ctx congest.Context) {
+		for {
+			ctx.Step()
+		}
+	})
+	if !errors.Is(err, congest.ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
 	}
 }

@@ -56,6 +56,14 @@ func CheckMST(g *graph.Graph, ports [][]int) error {
 	if err != nil {
 		return err
 	}
+	return CheckEdges(g, got)
+}
+
+// CheckEdges verifies that an already-extracted edge-index list (as
+// returned by MSTFromPorts) is exactly the unique MST of g. Callers
+// holding the extracted list use this directly so the ports are not
+// walked a second time.
+func CheckEdges(g *graph.Graph, got []int) error {
 	want, err := g.Kruskal()
 	if err != nil {
 		return err

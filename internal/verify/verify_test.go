@@ -162,3 +162,38 @@ func TestCheckForestRejectsCrossFragmentEdge(t *testing.T) {
 		t.Error("cross-fragment edge accepted")
 	}
 }
+
+// TestCheckEdges covers the single-extraction path the facade uses:
+// an already-extracted edge list is checked without re-walking ports.
+func TestCheckEdges(t *testing.T) {
+	g, err := graph.RandomConnected(50, 140, graph.GenOptions{Seed: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := g.Kruskal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEdges(g, mst); err != nil {
+		t.Errorf("true MST edge list rejected: %v", err)
+	}
+	// Swap one MST edge for a non-MST edge: wrong set, right size.
+	inMST := make(map[int]bool, len(mst))
+	for _, ei := range mst {
+		inMST[ei] = true
+	}
+	bad := append([]int(nil), mst[1:]...)
+	for ei := 0; ei < g.M(); ei++ {
+		if !inMST[ei] {
+			bad = append(bad, ei)
+			break
+		}
+	}
+	if err := CheckEdges(g, bad); err == nil {
+		t.Error("non-MST edge list accepted")
+	}
+	// Wrong size.
+	if err := CheckEdges(g, mst[:len(mst)-1]); err == nil {
+		t.Error("short edge list accepted")
+	}
+}
