@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race bench-tables bench-cluster check
+.PHONY: all build fmt vet test test-short race bench-tables bench-cluster serve smoke-serve check
 
 all: check
 
@@ -25,7 +25,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/parsim/ ./internal/congest/ ./internal/nettrans/ .
+	$(GO) test -race ./internal/parsim/ ./internal/congest/ ./internal/nettrans/ ./internal/service/ .
 
 bench-tables:
 	$(GO) run ./cmd/mstbench
@@ -35,5 +35,14 @@ bench-tables:
 # `go run ./cmd/mstbench -full -e e12`.
 bench-cluster:
 	$(GO) run ./cmd/mstbench -e e12
+
+# The MST job server (HTTP API; see the mstserved section of README.md).
+serve:
+	$(GO) run ./cmd/mstserved
+
+# End-to-end mstserved smoke against a race-built binary: upload,
+# run-to-completion, cache-hit check, mid-run cancel. What CI runs.
+smoke-serve:
+	sh scripts/smoke_mstserved.sh
 
 check: build fmt vet test-short

@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"congestmst"
@@ -29,6 +32,12 @@ func main() {
 		os.Exit(1)
 	}
 	bench.DefaultEngine = eng
+	// Ctrl-C cancels the sweep at the next engine round boundary: the
+	// in-flight run unwinds its goroutines (and the cluster engine its
+	// sockets) instead of the process dying mid-mesh.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bench.BaseContext = ctx
 	if err := run(*full, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "mstbench:", err)
 		os.Exit(1)

@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"congestmst"
 )
@@ -41,78 +44,39 @@ func main() {
 		fixedK    = flag.Int("k", 0, "pinned k for elkin-fixed-k (0 = sqrt n)")
 		edges     = flag.Bool("edges", false, "print the MST edge list")
 		metrics   = flag.Bool("metrics", false, "print the Equation (1) round decomposition (elkin only)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C always cancels")
 	)
 	flag.Parse()
-	if err := run(*graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
+	// Ctrl-C (and an optional -timeout) cancel the run through the
+	// engine's context: goroutines and cluster sockets unwind cleanly
+	// instead of the process dying mid-mesh.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
 		*alg, *engine, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "mstrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
+func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 	weights, alg, engine string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool) error {
-	var mode congestmst.WeightMode
-	switch normalize(weights) {
-	case "distinct":
-		mode = congestmst.WeightsDistinct
-	case "random":
-		mode = congestmst.WeightsRandom
-	case "unit":
-		mode = congestmst.WeightsUnit
-	default:
-		return fmt.Errorf("unknown weight mode %q (valid: distinct, random, unit)", weights)
-	}
-	opts := congestmst.GenOptions{Seed: seed, Weights: mode}
-
-	var g *congestmst.Graph
-	var err error
-	switch normalize(graphType) {
-	case "random":
-		if m == 0 {
-			m = 4 * n
-		}
-		g, err = congestmst.RandomConnected(n, m, opts)
-	case "ring":
-		g = congestmst.Ring(n, opts)
-	case "path":
-		g = congestmst.Path(n, opts)
-	case "grid":
-		g = congestmst.Grid(rows, cols, opts)
-	case "cylinder":
-		g = congestmst.Cylinder(rows, cols, opts)
-	case "complete":
-		g = congestmst.Complete(n, opts)
-	case "star":
-		g = congestmst.Star(n, opts)
-	case "bintree":
-		g = congestmst.BinaryTree(n, opts)
-	case "lollipop":
-		g = congestmst.Lollipop(clique, tail, opts)
-	case "pathmst":
-		if m == 0 {
-			m = 4 * n
-		}
-		g, err = congestmst.PathMST(n, m-(n-1), opts)
-	default:
-		return fmt.Errorf("unknown graph type %q (valid: random, ring, path, grid, cylinder, complete, star, bintree, lollipop, pathmst)", graphType)
-	}
+	g, err := congestmst.GraphSpec{
+		Type: graphType, N: n, M: m, Rows: rows, Cols: cols,
+		Clique: clique, Tail: tail, Seed: seed, Weights: weights,
+	}.Build()
 	if err != nil {
 		return err
 	}
 
-	var algorithm congestmst.Algorithm
-	switch normalize(alg) {
-	case "elkin":
-		algorithm = congestmst.Elkin
-	case "elkin-fixed-k":
-		algorithm = congestmst.ElkinFixedK
-	case "ghs":
-		algorithm = congestmst.GHS
-	case "pipeline":
-		algorithm = congestmst.Pipeline
-	default:
-		return fmt.Errorf("unknown algorithm %q (valid: elkin, elkin-fixed-k, ghs, pipeline)", alg)
+	algorithm, err := congestmst.ParseAlgorithm(alg)
+	if err != nil {
+		return err
 	}
 
 	eng, err := congestmst.ParseEngine(engine)
@@ -133,16 +97,19 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 	if printMetrics {
 		runOpts.Metrics = &met
 	}
-	res, err := congestmst.Run(g, runOpts)
+	start := time.Now()
+	res, err := congestmst.RunContext(ctx, g, runOpts)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 
 	fmt.Printf("graph     : %s n=%d m=%d\n", graphType, g.N(), g.M())
 	fmt.Printf("algorithm : %s (b=%d)\n", algorithm, bandwidth)
 	fmt.Printf("engine    : %s\n", eng)
 	fmt.Printf("rounds    : %d\n", res.Rounds)
 	fmt.Printf("messages  : %d\n", res.Messages)
+	fmt.Printf("wall clock: %v\n", elapsed.Round(time.Millisecond))
 	check := "verified against Kruskal"
 	if g.M() > congestmst.VerifyAutoEdgeLimit {
 		check = fmt.Sprintf("structurally checked; Kruskal comparison skipped above %d edges", congestmst.VerifyAutoEdgeLimit)
@@ -167,6 +134,3 @@ func run(graphType string, n, m, rows, cols, clique, tail int, seed uint64,
 	}
 	return nil
 }
-
-// normalize makes the CLI switches case-insensitive.
-func normalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }

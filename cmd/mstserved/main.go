@@ -1,0 +1,92 @@
+// Command mstserved is the MST job server: a long-lived HTTP daemon
+// over congestmst.RunContext with a bounded worker pool, NDJSON graph
+// uploads, asynchronous cancellable jobs, and an LRU result cache.
+//
+// Quick start:
+//
+//	mstserved -addr 127.0.0.1:8356 &
+//
+//	# Upload a 4-cycle with a chord as NDJSON:
+//	printf '%s\n' '{"n":4}' '{"u":0,"v":1,"w":1}' '{"u":1,"v":2,"w":2}' \
+//	    '{"u":2,"v":3,"w":3}' '{"u":3,"v":0,"w":4}' '{"u":0,"v":2,"w":5}' \
+//	  | curl -s --data-binary @- http://127.0.0.1:8356/graphs
+//	# → {"graph":"sha256:…","n":4,"m":5}
+//
+//	# Submit a job against it (or inline a generator with "gen"):
+//	curl -s -X POST http://127.0.0.1:8356/jobs \
+//	  -d '{"graph":"sha256:…","algorithm":"elkin","engine":"lockstep"}'
+//	# → {"id":"j1","status":"queued",…}   (202; a repeat is served from cache with 200)
+//
+//	curl -s http://127.0.0.1:8356/jobs/j1        # poll
+//	curl -s -X DELETE http://127.0.0.1:8356/jobs/j1  # cancel mid-run
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"congestmst/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8356", "listen address")
+		workers    = flag.Int("workers", 4, "jobs executed concurrently")
+		queueDepth = flag.Int("queue", 64, "admitted-but-not-started job bound (full queue = 503)")
+		cacheSize  = flag.Int("cache", 128, "result cache capacity (entries)")
+		maxGraphs  = flag.Int("max-graphs", 32, "uploaded graph store capacity (LRU)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxGraphs); err != nil {
+		fmt.Fprintln(os.Stderr, "mstserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueDepth, cacheSize, maxGraphs int) error {
+	svc := service.New(service.Config{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		CacheSize:  cacheSize,
+		MaxGraphs:  maxGraphs,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mstserved: listening on %s (workers=%d queue=%d cache=%d)",
+			addr, workers, queueDepth, cacheSize)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("mstserved: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	svc.Close() // cancels queued and running jobs through their contexts
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

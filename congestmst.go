@@ -19,6 +19,7 @@
 package congestmst
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -113,10 +114,11 @@ func (e Engine) String() string {
 }
 
 // ParseEngine converts a command-line engine name ("lockstep",
-// "parallel" or "cluster", case-insensitively) to an Engine.
+// "parallel" or "cluster", case-insensitively) to an Engine. The empty
+// string means the default (Lockstep).
 func ParseEngine(s string) (Engine, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "lockstep":
+	case "lockstep", "":
 		return Lockstep, nil
 	case "parallel":
 		return Parallel, nil
@@ -124,6 +126,24 @@ func ParseEngine(s string) (Engine, error) {
 		return Cluster, nil
 	default:
 		return 0, fmt.Errorf("congestmst: unknown engine %q (valid: lockstep, parallel, cluster)", s)
+	}
+}
+
+// ParseAlgorithm converts a command-line algorithm name ("elkin",
+// "elkin-fixed-k", "ghs" or "pipeline", case-insensitively) to an
+// Algorithm. The empty string means the default (Elkin).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "elkin", "":
+		return Elkin, nil
+	case "elkin-fixed-k":
+		return ElkinFixedK, nil
+	case "ghs":
+		return GHS, nil
+	case "pipeline":
+		return Pipeline, nil
+	default:
+		return 0, fmt.Errorf("congestmst: unknown algorithm %q (valid: elkin, elkin-fixed-k, ghs, pipeline)", s)
 	}
 }
 
@@ -258,11 +278,51 @@ type Result struct {
 // ErrDisconnected is returned for graphs with more than one component.
 var ErrDisconnected = graph.ErrDisconnected
 
+// Validate rejects malformed options for a graph on n vertices before
+// any engine is spawned, so a bad Root or a negative knob surfaces as a
+// named-option error instead of a deep engine failure (deadlock, panic,
+// or silent coercion). Run and RunContext call it; services that queue
+// work can call it at admission time to fail fast.
+func (o Options) Validate(n int) error {
+	if o.Root < 0 || (n > 0 && o.Root >= n) {
+		return fmt.Errorf("congestmst: Options.Root %d out of range [0,%d)", o.Root, n)
+	}
+	if o.Bandwidth < 0 {
+		return fmt.Errorf("congestmst: Options.Bandwidth %d is negative (0 means the default of 1)", o.Bandwidth)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("congestmst: Options.Workers %d is negative (0 means GOMAXPROCS)", o.Workers)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("congestmst: Options.Shards %d is negative (0 means min(4, n))", o.Shards)
+	}
+	if o.FixedK < 0 {
+		return fmt.Errorf("congestmst: Options.FixedK %d is negative (0 means sqrt(n))", o.FixedK)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("congestmst: Options.MaxRounds %d is negative (0 means the default of 100 million)", o.MaxRounds)
+	}
+	return nil
+}
+
 // Run executes the selected algorithm on g under the CONGEST(b log n)
 // model and returns the computed MST with its measured complexities.
 // The output is checked against Kruskal's algorithm before returning
 // as selected by Options.Verify.
 func Run(g *Graph, opts Options) (*Result, error) {
+	return RunContext(context.Background(), g, opts)
+}
+
+// RunContext is Run under a context: cancelling ctx (or letting its
+// deadline expire) stops the selected engine at the next round
+// boundary, tears down its goroutines (and, for the Cluster engine,
+// its TCP mesh), and returns an error wrapping context.Canceled or
+// context.DeadlineExceeded. There is no separate Options deadline knob:
+// wrap the context with context.WithTimeout or context.WithDeadline.
+func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	if err := opts.Validate(g.N()); err != nil {
+		return nil, err
+	}
 	if g.N() > 0 && !g.Connected() {
 		return nil, ErrDisconnected
 	}
@@ -318,16 +378,16 @@ func Run(g *Graph, opts Options) (*Result, error) {
 			Bandwidth: opts.Bandwidth,
 			MaxRounds: opts.MaxRounds,
 		})
-		stats, err = engine.Run(func(ctx *congest.Ctx) { program(ctx) })
+		stats, err = engine.RunContext(ctx, func(c *congest.Ctx) { program(c) })
 	case Parallel:
 		engine := parsim.NewEngine(g, parsim.Config{
 			Bandwidth: opts.Bandwidth,
 			MaxRounds: opts.MaxRounds,
 			Workers:   opts.Workers,
 		})
-		stats, err = engine.Run(program)
+		stats, err = engine.RunContext(ctx, program)
 	case Cluster:
-		stats, err = nettrans.Run(g, nettrans.Config{
+		stats, err = nettrans.RunContext(ctx, g, nettrans.Config{
 			Bandwidth: opts.Bandwidth,
 			MaxRounds: opts.MaxRounds,
 			Shards:    opts.Shards,

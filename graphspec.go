@@ -1,0 +1,118 @@
+package congestmst
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GraphSpec names a generated workload: the generator type plus its
+// size, seed and weight-mode knobs. It is the one serializable
+// description shared by every surface that builds graphs from names —
+// cmd/mstrun assembles one from its flags, the mstserved job API
+// accepts one as the "gen" object — so a generator added here reaches
+// all of them at once.
+type GraphSpec struct {
+	Type    string `json:"type"`              // random | ring | path | grid | cylinder | complete | star | bintree | lollipop | pathmst
+	N       int    `json:"n,omitempty"`       // vertices (most types)
+	M       int    `json:"m,omitempty"`       // edges (random, pathmst; default 4n)
+	Rows    int    `json:"rows,omitempty"`    // grid, cylinder
+	Cols    int    `json:"cols,omitempty"`    // grid, cylinder
+	Clique  int    `json:"clique,omitempty"`  // lollipop
+	Tail    int    `json:"tail,omitempty"`    // lollipop
+	Seed    uint64 `json:"seed,omitempty"`    // generator seed
+	Weights string `json:"weights,omitempty"` // distinct | random | unit (default distinct)
+}
+
+// sizeHintCap bounds every dimension SizeHint multiplies: past 2^30
+// the hint saturates instead of overflowing int64 (an overflow could
+// wrap negative and slip an absurd spec past an admission bound; with
+// every operand under 2^30 no product below can exceed 2^61).
+const sizeHintCap = int64(1) << 30
+
+// SizeHint returns the vertex and edge counts Build would produce,
+// without building anything: what an admission controller needs to
+// reject an oversized spec before committing memory to it. Hints
+// saturate at math.MaxInt64 for dimensions beyond 2^31; unknown types
+// hint (0, 0) and Build reports the real error.
+func (sp GraphSpec) SizeHint() (n, m int64) {
+	for _, d := range []int{sp.N, sp.M, sp.Rows, sp.Cols, sp.Clique, sp.Tail} {
+		if int64(d) > sizeHintCap {
+			return math.MaxInt64, math.MaxInt64
+		}
+	}
+	v := int64(sp.N)
+	switch strings.ToLower(strings.TrimSpace(sp.Type)) {
+	case "random", "pathmst":
+		e := int64(sp.M)
+		if e == 0 {
+			e = 4 * v
+		}
+		return v, e
+	case "ring":
+		return v, v
+	case "path", "star", "bintree":
+		return v, v - 1
+	case "grid", "cylinder":
+		rc := int64(sp.Rows) * int64(sp.Cols)
+		return rc, 2 * rc
+	case "complete":
+		return v, v * (v - 1) / 2
+	case "lollipop":
+		c, t := int64(sp.Clique), int64(sp.Tail)
+		return c + t, c*(c-1)/2 + t
+	default:
+		return 0, 0
+	}
+}
+
+// Build runs the named generator with mstrun's defaults (m = 4n for
+// the random types when unset).
+func (sp GraphSpec) Build() (*Graph, error) {
+	var mode WeightMode
+	switch strings.ToLower(strings.TrimSpace(sp.Weights)) {
+	case "", "distinct":
+		mode = WeightsDistinct
+	case "random":
+		mode = WeightsRandom
+	case "unit":
+		mode = WeightsUnit
+	default:
+		return nil, fmt.Errorf("congestmst: unknown weight mode %q (valid: distinct, random, unit)", sp.Weights)
+	}
+	opts := GenOptions{Seed: sp.Seed, Weights: mode}
+	n, m := sp.N, sp.M
+	if n < 0 || m < 0 || sp.Rows < 0 || sp.Cols < 0 || sp.Clique < 0 || sp.Tail < 0 {
+		return nil, fmt.Errorf("congestmst: negative size in generator spec %+v", sp)
+	}
+	switch strings.ToLower(strings.TrimSpace(sp.Type)) {
+	case "random":
+		if m == 0 {
+			m = 4 * n
+		}
+		return RandomConnected(n, m, opts)
+	case "ring":
+		return Ring(n, opts), nil
+	case "path":
+		return Path(n, opts), nil
+	case "grid":
+		return Grid(sp.Rows, sp.Cols, opts), nil
+	case "cylinder":
+		return Cylinder(sp.Rows, sp.Cols, opts), nil
+	case "complete":
+		return Complete(n, opts), nil
+	case "star":
+		return Star(n, opts), nil
+	case "bintree":
+		return BinaryTree(n, opts), nil
+	case "lollipop":
+		return Lollipop(sp.Clique, sp.Tail, opts), nil
+	case "pathmst":
+		if m == 0 {
+			m = 4 * n
+		}
+		return PathMST(n, m-(n-1), opts)
+	default:
+		return nil, fmt.Errorf("congestmst: unknown graph type %q (valid: random, ring, path, grid, cylinder, complete, star, bintree, lollipop, pathmst)", sp.Type)
+	}
+}

@@ -1,0 +1,64 @@
+package congestmst
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGraphSpecBuildMatchesGenerators(t *testing.T) {
+	got, err := GraphSpec{Type: "Grid", Rows: 4, Cols: 6, Seed: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Grid(4, 6, GenOptions{Seed: 3})
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Errorf("spec grid = (%d, %d), generator = (%d, %d)", got.N(), got.M(), want.N(), want.M())
+	}
+	if _, err := (GraphSpec{Type: "hypercube", N: 8}).Build(); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := (GraphSpec{Type: "ring", N: -8}).Build(); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := (GraphSpec{Type: "ring", N: 8, Weights: "gaussian"}).Build(); err == nil {
+		t.Error("unknown weight mode accepted")
+	}
+}
+
+func TestGraphSpecSizeHint(t *testing.T) {
+	cases := []struct {
+		spec GraphSpec
+		n, m int64
+	}{
+		{GraphSpec{Type: "random", N: 100}, 100, 400},
+		{GraphSpec{Type: "random", N: 100, M: 250}, 100, 250},
+		{GraphSpec{Type: "grid", Rows: 10, Cols: 20}, 200, 400},
+		{GraphSpec{Type: "complete", N: 10}, 10, 45},
+		{GraphSpec{Type: "lollipop", Clique: 4, Tail: 3}, 7, 9},
+		{GraphSpec{Type: "nope"}, 0, 0},
+	}
+	for _, tc := range cases {
+		if n, m := tc.spec.SizeHint(); n != tc.n || m != tc.m {
+			t.Errorf("SizeHint(%+v) = (%d, %d), want (%d, %d)", tc.spec, n, m, tc.n, tc.m)
+		}
+	}
+}
+
+// TestGraphSpecSizeHintSaturates: huge dimensions must saturate, never
+// wrap negative — a wrapped hint would slip past any admission bound.
+func TestGraphSpecSizeHintSaturates(t *testing.T) {
+	huge := int(int64(3) << 30) // > sizeHintCap on 64-bit int
+	for _, spec := range []GraphSpec{
+		{Type: "grid", Rows: huge, Cols: huge},
+		{Type: "complete", N: huge},
+		{Type: "random", N: huge},
+	} {
+		n, m := spec.SizeHint()
+		if n < 0 || m < 0 {
+			t.Fatalf("SizeHint(%+v) wrapped negative: (%d, %d)", spec, n, m)
+		}
+		if n != math.MaxInt64 || m != math.MaxInt64 {
+			t.Errorf("SizeHint(%+v) = (%d, %d), want saturation", spec, n, m)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,6 +28,12 @@ import (
 // (mstbench -engine). E11 and E12 ignore it: each measures its own
 // engine pair against each other by definition.
 var DefaultEngine = congestmst.Lockstep
+
+// BaseContext is the context every experiment run executes under.
+// cmd/mstbench wires Ctrl-C into it so a multi-minute sweep cancels at
+// the next round boundary instead of dying mid-run; tests leave it as
+// Background.
+var BaseContext = context.Background()
 
 // Table is one experiment's rendered result.
 type Table struct {
@@ -135,10 +142,11 @@ func tauTraffic(s *congestmst.Stats) int64 {
 		s.ByKind[bfstree.KindRoute] + s.ByKind[bfstree.KindRouteFlush]
 }
 
-// runAlg is congestmst.Run on the experiment-wide DefaultEngine.
+// runAlg is congestmst.RunContext on the experiment-wide DefaultEngine
+// under BaseContext.
 func runAlg(g *graph.Graph, opts congestmst.Options) (*congestmst.Result, error) {
 	opts.Engine = DefaultEngine
-	return congestmst.Run(g, opts)
+	return congestmst.RunContext(BaseContext, g, opts)
 }
 
 // forestRun builds τ (for alignment and n/D discovery) and the base
@@ -152,11 +160,11 @@ func forestRun(g *graph.Graph, k int, bandwidth int) ([]*forest.State, *forest.T
 	}
 	if DefaultEngine == congestmst.Parallel {
 		e := parsim.NewEngine(g, parsim.Config{Bandwidth: bandwidth})
-		stats, err := e.Run(program)
+		stats, err := e.RunContext(BaseContext, program)
 		return states, trace, stats, err
 	}
 	e := congest.NewEngine(g, congest.Config{Bandwidth: bandwidth})
-	stats, err := e.Run(func(ctx *congest.Ctx) { program(ctx) })
+	stats, err := e.RunContext(BaseContext, func(ctx *congest.Ctx) { program(ctx) })
 	return states, trace, stats, err
 }
 

@@ -58,7 +58,7 @@ func E12ClusterTransport(full bool) (*Table, error) {
 		g := graph.Grid(rc[0], rc[1], graph.GenOptions{Seed: uint64(211 + rc[0])})
 		g.CSR() // shared lazy build; keep it out of both timed windows
 		lockStart := time.Now()
-		lock, err := congestmst.Run(g, congestmst.Options{
+		lock, err := congestmst.RunContext(BaseContext, g, congestmst.Options{
 			Engine: congestmst.Lockstep, Verify: congestmst.VerifyOff,
 		})
 		if err != nil {
@@ -66,7 +66,7 @@ func E12ClusterTransport(full bool) (*Table, error) {
 		}
 		lockSec := time.Since(lockStart).Seconds()
 		cluStart := time.Now()
-		clu, err := congestmst.Run(g, congestmst.Options{
+		clu, err := congestmst.RunContext(BaseContext, g, congestmst.Options{
 			Engine: congestmst.Cluster, Shards: shards, Verify: congestmst.VerifyOff,
 		})
 		if err != nil {

@@ -75,7 +75,7 @@ func timedRun(g *graph.Graph, engine congestmst.Engine) (*congestmst.Result, flo
 	runtime.GC()
 	w := watchHeap()
 	start := time.Now()
-	res, err := congestmst.Run(g, congestmst.Options{Engine: engine, Verify: congestmst.VerifyOff})
+	res, err := congestmst.RunContext(BaseContext, g, congestmst.Options{Engine: engine, Verify: congestmst.VerifyOff})
 	elapsed := time.Since(start).Seconds()
 	peak := w.Peak()
 	return res, elapsed, peak, err

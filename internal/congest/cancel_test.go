@@ -1,0 +1,104 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// awaitGoroutines waits for the goroutine count to settle back to (or
+// near) baseline after a cancelled run: every vertex goroutine must
+// have unwound.
+func awaitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancel: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunContextCancel cancels an endlessly stepping program. The
+// engine checks its context at every round boundary — and this program
+// produces thousands of boundaries per second — so a prompt return
+// here means cancellation was observed within one boundary, with every
+// processor goroutine drained and the error wrapping context.Canceled.
+func TestRunContextCancel(t *testing.T) {
+	g := path3(t)
+	baseline := runtime.NumGoroutine()
+	e := NewEngine(g, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := e.RunContext(ctx, func(c *Ctx) {
+			for {
+				c.Step()
+			}
+		})
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled engine did not return")
+	}
+	awaitGoroutines(t, baseline)
+}
+
+// TestRunContextDeadline: an expiring context deadline surfaces as
+// context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	g := path3(t)
+	baseline := runtime.NumGoroutine()
+	e := NewEngine(g, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := e.RunContext(ctx, func(c *Ctx) {
+		for {
+			c.Step()
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	awaitGoroutines(t, baseline)
+}
+
+// TestRunContextPreCancelled: a context that is already dead must not
+// spawn a single processor goroutine.
+func TestRunContextPreCancelled(t *testing.T) {
+	g := path3(t)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewEngine(g, Config{}).RunContext(ctx, func(c *Ctx) { c.Step() })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Errorf("pre-cancelled run spawned goroutines: %d, baseline %d", n, baseline)
+	}
+}
+
+// TestRunDelegatesToRunContext: the classic Run still completes
+// normally (it is RunContext under context.Background()).
+func TestRunDelegatesToRunContext(t *testing.T) {
+	g := path3(t)
+	stats, err := NewEngine(g, Config{}).Run(func(c *Ctx) { c.Step() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", stats.Rounds)
+	}
+}

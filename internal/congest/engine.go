@@ -29,6 +29,7 @@ package congest
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -151,8 +152,19 @@ func NewEngine(g *graph.Graph, cfg Config) *Engine {
 // return (or the run fails). It returns the stats accumulated up to
 // completion or failure.
 func (e *Engine) Run(program func(*Ctx)) (*Stats, error) {
+	return e.RunContext(context.Background(), program)
+}
+
+// RunContext is Run under a context: cancellation (or a deadline) is
+// checked at every round boundary, and a cancelled run tears down all
+// processor goroutines before returning an error wrapping ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, program func(*Ctx)) (*Stats, error) {
 	if e.nodes == nil {
 		return nil, ErrReused
+	}
+	if err := ctx.Err(); err != nil {
+		e.nodes = nil
+		return &Stats{}, fmt.Errorf("congest: run cancelled: %w", err)
 	}
 	n := e.g.N()
 	for v := 0; v < n; v++ {
@@ -175,6 +187,11 @@ func (e *Engine) Run(program func(*Ctx)) (*Stats, error) {
 			break
 		}
 		if doneCount == n {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			e.fail(fmt.Errorf("congest: run cancelled: %w", err))
+			doneCount += e.drain()
 			break
 		}
 		next, err := e.nextWakeSet()

@@ -42,6 +42,7 @@ package nettrans
 
 import (
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -122,11 +123,23 @@ var errAborted = errors.New("nettrans: run aborted")
 // repository runs unchanged, and the returned stats are bit-identical
 // to the in-process engines'.
 func Run(g *graph.Graph, cfg Config, program func(congest.Context)) (*congest.Stats, error) {
-	c, err := newCluster(g, cfg)
+	return RunContext(context.Background(), g, cfg, program)
+}
+
+// RunContext is Run under a context. Cancellation (or a deadline) is
+// observed while the shard mesh is dialing and at every agreed round
+// boundary once the run is underway: the whole mesh is torn down, every
+// shard loop and vertex goroutine unwinds, and the returned error wraps
+// ctx.Err().
+func RunContext(ctx context.Context, g *graph.Graph, cfg Config, program func(congest.Context)) (*congest.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("nettrans: run cancelled: %w", err)
+	}
+	c, err := newCluster(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return c.run(program)
+	return c.run(ctx, program)
 }
 
 type outMsg struct {
@@ -217,7 +230,7 @@ type shard struct {
 	byKind    [256]int64
 }
 
-func newCluster(g *graph.Graph, cfg Config) (*cluster, error) {
+func newCluster(ctx context.Context, g *graph.Graph, cfg Config) (*cluster, error) {
 	n := g.N()
 	c := &cluster{
 		g:      g,
@@ -247,7 +260,7 @@ func newCluster(g *graph.Graph, cfg Config) (*cluster, error) {
 		s.live = s.hi - s.lo
 		c.shards[i] = s
 	}
-	if err := c.connect(); err != nil {
+	if err := c.connect(ctx); err != nil {
 		c.closeAll()
 		return nil, err
 	}
@@ -259,9 +272,10 @@ func (c *cluster) shardOf(v int) int { return v / c.shardSize }
 // connect establishes the shard mesh: every shard listens on loopback,
 // and for each pair the higher-id shard dials the lower, identifying
 // itself with a 4-byte hello. Dial concurrency is bounded by
-// cfg.maxDials, and on any failure every connection established so far
-// is closed before returning.
-func (c *cluster) connect() error {
+// cfg.maxDials, cancelling ctx aborts both the in-flight dials and the
+// blocked accepts, and on any failure every connection established so
+// far is closed before returning.
+func (c *cluster) connect(ctx context.Context) error {
 	ns := c.nshards
 	if ns <= 1 {
 		return nil
@@ -281,6 +295,19 @@ func (c *cluster) connect() error {
 		}
 		listeners[i] = l
 	}
+	// Unblock every pending Accept if ctx fires mid-setup; the dials
+	// abort themselves through DialContext.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, l := range listeners {
+				l.Close()
+			}
+		case <-watchDone:
+		}
+	}()
 
 	acceptErrs := make([]error, ns)
 	var acceptWG sync.WaitGroup
@@ -316,6 +343,7 @@ func (c *cluster) connect() error {
 
 	dialErrs := make([]error, ns)
 	sem := make(chan struct{}, c.cfg.maxDials())
+	dialer := &net.Dialer{Timeout: dialTimeout}
 	var dialWG sync.WaitGroup
 	// Shard j dials every lower-id shard, at most maxDials in flight.
 	for j := 1; j < ns; j++ {
@@ -324,7 +352,7 @@ func (c *cluster) connect() error {
 			defer dialWG.Done()
 			for i := 0; i < j; i++ {
 				sem <- struct{}{}
-				conn, err := net.DialTimeout("tcp", listeners[i].Addr().String(), dialTimeout)
+				conn, err := dialer.DialContext(ctx, "tcp", listeners[i].Addr().String())
 				if err == nil {
 					var hello [4]byte
 					binary.LittleEndian.PutUint32(hello[:], uint32(j))
@@ -350,10 +378,19 @@ func (c *cluster) connect() error {
 			l.Close()
 		}
 		acceptWG.Wait()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("nettrans: run cancelled during dial: %w", ctxErr)
+		}
 		return err
 	}
 	acceptWG.Wait()
-	return errors.Join(acceptErrs...)
+	if err := errors.Join(acceptErrs...); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("nettrans: run cancelled during dial: %w", ctxErr)
+		}
+		return err
+	}
+	return nil
 }
 
 func newLink(conn net.Conn) *link {
@@ -410,12 +447,25 @@ func (c *cluster) err() error {
 }
 
 // run starts the readers, the vertex goroutines and the shard loops,
-// and blocks until the cluster terminates or fails.
-func (c *cluster) run(program func(congest.Context)) (*congest.Stats, error) {
+// and blocks until the cluster terminates, fails, or ctx is cancelled.
+func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*congest.Stats, error) {
 	defer c.closeAll()
 	if c.g.N() == 0 {
 		return &congest.Stats{}, nil
 	}
+	// Cancellation fails the run and drops the mesh: every shard loop
+	// notices either the aborted flag at its next round boundary or the
+	// closed channel while blocked on a peer batch.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.fail(fmt.Errorf("nettrans: run cancelled: %w", ctx.Err()))
+			c.closeAll()
+		case <-watchDone:
+		}
+	}()
 	for _, s := range c.shards {
 		for _, l := range s.links {
 			if l != nil {

@@ -1,6 +1,7 @@
 package nettrans
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -320,7 +321,7 @@ func TestSocketBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := newCluster(g, Config{Shards: 4})
+	c, err := newCluster(context.Background(), g, Config{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestSocketBudget(t *testing.T) {
 	if got := c.sockets(); got > 4*4 {
 		t.Errorf("socket budget exceeded: %d > shards²", got)
 	}
-	stats, err := c.run(func(ctx congest.Context) { ctx.Step() })
+	stats, err := c.run(context.Background(), func(ctx congest.Context) { ctx.Step() })
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -357,7 +358,7 @@ func TestProgramPanicOverTCP(t *testing.T) {
 // and every goroutine must unwind.
 func TestFaultInjectionConnKill(t *testing.T) {
 	g := graph.Ring(12, graph.GenOptions{Seed: 3})
-	c, err := newCluster(g, Config{Shards: 4})
+	c, err := newCluster(context.Background(), g, Config{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +371,7 @@ func TestFaultInjectionConnKill(t *testing.T) {
 	}
 	ch := make(chan result, 1)
 	go func() {
-		_, err := c.run(func(ctx congest.Context) {
+		_, err := c.run(context.Background(), func(ctx congest.Context) {
 			for { // step forever; only the injected fault can end this
 				ctx.Step()
 			}

@@ -41,6 +41,7 @@ package parsim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -250,8 +251,20 @@ func (e *Engine) shardOf(v int) int { return v / e.shardSize }
 // completion or failure. Rounds, Messages and ByKind are bit-identical
 // to what congest.Engine reports for the same program and graph.
 func (e *Engine) Run(program func(congest.Context)) (*congest.Stats, error) {
+	return e.RunContext(context.Background(), program)
+}
+
+// RunContext is Run under a context: cancellation (or a deadline) is
+// checked at every round boundary, and a cancelled run tears down the
+// worker pool and all vertex goroutines before returning an error
+// wrapping ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, program func(congest.Context)) (*congest.Stats, error) {
 	if e.nodes == nil && e.g.N() > 0 {
 		return nil, congest.ErrReused
+	}
+	if err := ctx.Err(); err != nil {
+		e.nodes = nil
+		return &congest.Stats{}, fmt.Errorf("parsim: run cancelled: %w", err)
 	}
 	n := e.g.N()
 	for v := 0; v < n; v++ {
@@ -281,6 +294,11 @@ func (e *Engine) Run(program func(congest.Context)) (*congest.Stats, error) {
 			break
 		}
 		if doneCount == n {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			e.fail(fmt.Errorf("parsim: run cancelled: %w", err))
+			doneCount += e.drain()
 			break
 		}
 		if err := e.advance(); err != nil {

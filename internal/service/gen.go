@@ -1,0 +1,10 @@
+package service
+
+import "congestmst"
+
+// GenSpec is the inline generator spec of a job submission — exactly
+// congestmst.GraphSpec, so the service, mstrun and the library share
+// one generator dispatch. A generated graph is digested like an
+// upload, so generated and uploaded instances share the result cache
+// namespace.
+type GenSpec = congestmst.GraphSpec

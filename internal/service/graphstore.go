@@ -1,0 +1,137 @@
+package service
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"congestmst"
+)
+
+// storedGraph is one uploaded (or generated) graph, addressed by the
+// digest of its canonical edge list.
+type storedGraph struct {
+	digest string
+	g      *congestmst.Graph
+}
+
+// graphStore holds uploaded graphs behind an LRU bound: a long-lived
+// server accumulating uploads evicts the least recently used graph
+// instead of growing without limit. Jobs hold their own *Graph
+// reference, so an eviction never breaks a queued or running job —
+// only future submissions referencing the evicted digest get a 404.
+type graphStore struct {
+	byDigest *lru[string, *storedGraph]
+}
+
+func newGraphStore(capacity int) *graphStore {
+	return &graphStore{byDigest: newLRU[string, *storedGraph](capacity)}
+}
+
+func (gs *graphStore) get(digest string) (*storedGraph, bool) {
+	return gs.byDigest.get(digest)
+}
+
+func (gs *graphStore) put(sg *storedGraph) {
+	gs.byDigest.put(sg.digest, sg)
+}
+
+func (gs *graphStore) len() int { return gs.byDigest.len() }
+
+// digestGraph computes the content address of a graph: sha256 over
+// (n, m, every (u, v, w) in edge-list order). Edge order is part of the
+// identity because result edge indices point into that order; two
+// uploads of the same edges in the same order share one digest and
+// therefore one cache line per option set.
+func digestGraph(g *congestmst.Graph) string {
+	h := sha256.New()
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(g.N()))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(g.M()))
+	h.Write(buf[:16])
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(e.U))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(e.V))
+		binary.LittleEndian.PutUint64(buf[16:24], uint64(e.W))
+		h.Write(buf[:])
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// ndjsonHeader is the required first line of an upload.
+type ndjsonHeader struct {
+	N int `json:"n"`
+}
+
+// ndjsonEdge is one edge line of an upload. W is optional (default 1,
+// i.e. unit weights).
+type ndjsonEdge struct {
+	U int    `json:"u"`
+	V int    `json:"v"`
+	W *int64 `json:"w"`
+}
+
+// parseNDJSON reads an edge-list upload: one JSON object per line, the
+// first `{"n": <vertices>}`, each following line `{"u":.., "v":..,
+// "w":..}`. Blank lines are skipped. The header's vertex count and the
+// running edge count are checked against maxVertices/maxEdges before
+// anything n-sized is allocated — a 40-byte body declaring two billion
+// vertices must be a 400, not an OOM. The edges flow through the same
+// graph.Builder as every generator, so uploads get identical
+// validation (range checks, self-loops, duplicates).
+func parseNDJSON(r io.Reader, maxVertices, maxEdges int64) (*congestmst.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	var edges int64
+	var b *congestmst.Builder
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if b == nil {
+			var hdr ndjsonHeader
+			if err := json.Unmarshal([]byte(text), &hdr); err != nil {
+				return nil, fmt.Errorf("line %d: header %q: %w", line, text, err)
+			}
+			if hdr.N < 0 {
+				return nil, fmt.Errorf("line %d: negative vertex count %d", line, hdr.N)
+			}
+			if int64(hdr.N) > maxVertices {
+				return nil, fmt.Errorf("line %d: vertex count %d exceeds the limit of %d", line, hdr.N, maxVertices)
+			}
+			b = congestmst.NewBuilder(hdr.N)
+			continue
+		}
+		var e ndjsonEdge
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("line %d: edge %q: %w", line, text, err)
+		}
+		if edges++; edges > maxEdges {
+			return nil, fmt.Errorf("line %d: edge count exceeds the limit of %d", line, maxEdges)
+		}
+		w := int64(1)
+		if e.W != nil {
+			w = *e.W
+		}
+		b.AddEdge(e.U, e.V, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading upload: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("empty upload: first line must be {\"n\": <vertices>}")
+	}
+	g, err := b.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"congestmst"
+)
+
+// Job status values reported over the API.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// JobRequest is the POST /jobs body. Exactly one of Graph (a digest
+// returned by POST /graphs) and Gen (an inline generator spec) must be
+// set.
+type JobRequest struct {
+	Graph     string   `json:"graph,omitempty"`
+	Gen       *GenSpec `json:"gen,omitempty"`
+	Algorithm string   `json:"algorithm,omitempty"` // default elkin
+	Engine    string   `json:"engine,omitempty"`    // default lockstep
+	Bandwidth int      `json:"bandwidth,omitempty"` // default 1
+	Root      int      `json:"root,omitempty"`
+	FixedK    int      `json:"fixed_k,omitempty"`
+	Workers   int      `json:"workers,omitempty"` // parallel engine pool size
+	Shards    int      `json:"shards,omitempty"`  // cluster engine shard count
+	// TimeoutMillis bounds the run once it starts executing; 0 means no
+	// per-job deadline (the server-wide limit, if any, still applies).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// IncludeEdges asks for the MST edge list in the result (it can be
+	// n-1 entries, so it is off by default).
+	IncludeEdges bool `json:"include_edges,omitempty"`
+	// NoCache skips the result cache lookup and overwrites the cache
+	// line on completion.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// JobResult is the computed payload of a finished job.
+type JobResult struct {
+	Weight        int64   `json:"weight"`
+	MSTEdgeCount  int     `json:"mst_edge_count"`
+	Rounds        int64   `json:"rounds"`
+	Messages      int64   `json:"messages"`
+	K             int     `json:"k,omitempty"`
+	BoruvkaPhases int     `json:"boruvka_phases,omitempty"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	MSTEdges      []int   `json:"mst_edges,omitempty"`
+}
+
+// JobView is the API representation of a job, safe to marshal at any
+// point of its lifecycle.
+type JobView struct {
+	ID        string     `json:"id"`
+	Status    string     `json:"status"`
+	Graph     string     `json:"graph"`
+	N         int        `json:"n"`
+	M         int        `json:"m"`
+	Algorithm string     `json:"algorithm"`
+	Engine    string     `json:"engine"`
+	Bandwidth int        `json:"bandwidth"`
+	Cached    bool       `json:"cached"`
+	Result    *JobResult `json:"result,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// cacheKey addresses one result cache line: every option that affects
+// the Result payload participates. Engine is included even though all
+// engines agree bit-for-bit — a cache hit must be able to say which
+// engine's run it is replaying.
+type cacheKey struct {
+	digest    string
+	algorithm congestmst.Algorithm
+	engine    congestmst.Engine
+	bandwidth int
+	root      int
+	fixedK    int
+}
+
+// job is the server-side state of one submission. The mutex guards
+// status, result, error and the graph reference; everything else is
+// written once at submission.
+type job struct {
+	id   string
+	key  cacheKey
+	req  JobRequest
+	n, m int // graph dimensions, snapshotted so views outlive g
+	opts congestmst.Options
+
+	cancel context.CancelFunc
+	ctx    context.Context
+
+	mu     sync.Mutex
+	g      *congestmst.Graph // dropped at the terminal transition
+	status string
+	cached bool
+	result *JobResult
+	errMsg string
+}
+
+// view snapshots the job for the API.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:        j.id,
+		Status:    j.status,
+		Graph:     j.key.digest,
+		N:         j.n,
+		M:         j.m,
+		Algorithm: j.opts.Algorithm.String(),
+		Engine:    j.opts.Engine.String(),
+		Bandwidth: j.opts.Bandwidth,
+		Cached:    j.cached,
+		Result:    j.result,
+		Error:     j.errMsg,
+	}
+}
+
+// finish moves the job to a terminal status exactly once, releasing
+// the graph reference: a finished job retained in the table (up to
+// Config.MaxJobs of them) must not pin a multi-million-edge graph.
+func (j *job) finish(status string, res *JobResult, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminalLocked() {
+		return
+	}
+	j.status = status
+	j.result = res
+	j.errMsg = errMsg
+	j.g = nil
+}
+
+func (j *job) terminalLocked() bool {
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		return true
+	}
+	return false
+}
+
+// tryCancel cancels the job's context and, if the job was still
+// queued, resolves it as canceled immediately (the worker skips it on
+// dequeue), reporting true so the caller can count the cancellation. A
+// running job resolves — and is counted — when its engine observes the
+// cancelled context at the next round boundary.
+func (j *job) tryCancel() bool {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusQueued {
+		j.status = StatusCanceled
+		j.errMsg = context.Canceled.Error()
+		j.g = nil
+		return true
+	}
+	return false
+}
+
+// run executes the job on the calling worker goroutine.
+func (j *job) run(s *Server) {
+	// Release the job's cancel context whatever the outcome: a context
+	// left un-cancelled stays registered with the server's base context
+	// for the life of the process.
+	defer j.cancel()
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return // canceled while queued
+	}
+	j.status = StatusRunning
+	g := j.g
+	j.mu.Unlock()
+
+	ctx := j.ctx
+	if j.req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := congestmst.RunContext(ctx, g, j.opts)
+	elapsed := time.Since(start)
+	switch {
+	case err == nil:
+		jr := &JobResult{
+			Weight:        res.Weight,
+			MSTEdgeCount:  len(res.MSTEdges),
+			Rounds:        res.Rounds,
+			Messages:      res.Messages,
+			K:             res.K,
+			BoruvkaPhases: res.BoruvkaPhases,
+			ElapsedMillis: float64(elapsed.Microseconds()) / 1000,
+			MSTEdges:      res.MSTEdges,
+		}
+		s.cache.put(j.key, jr)
+		out := *jr
+		if !j.req.IncludeEdges {
+			out.MSTEdges = nil
+		}
+		s.jobsDone.Add(1)
+		j.finish(StatusDone, &out, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.jobsCanceled.Add(1)
+		j.finish(StatusCanceled, nil, err.Error())
+	default:
+		s.jobsFailed.Add(1)
+		j.finish(StatusFailed, nil, err.Error())
+	}
+}

@@ -1,0 +1,119 @@
+package service
+
+import "sync"
+
+// lru is a small thread-safe LRU map used for both the result cache
+// (cacheKey → *congestmst.Result) and the graph store's eviction order.
+// Capacity is a count, not bytes: entries (MST results, uploaded
+// graphs) are few and coarse, so counting them keeps the arithmetic
+// honest without a size estimator.
+type lru[K comparable, V any] struct {
+	mu   sync.Mutex
+	cap  int
+	ents map[K]*lruEntry[K, V]
+	head *lruEntry[K, V] // most recently used
+	tail *lruEntry[K, V] // least recently used
+
+	hits, misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+// newLRU returns an LRU holding at most capacity entries; capacity < 1
+// is treated as 1.
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[K, V]{cap: capacity, ents: make(map[K]*lruEntry[K, V])}
+}
+
+// get returns the value for k, marking it most recently used.
+func (l *lru[K, V]) get(k K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.ents[k]
+	if !ok {
+		l.misses++
+		var zero V
+		return zero, false
+	}
+	l.hits++
+	l.moveToFront(e)
+	return e.val, true
+}
+
+// put inserts or refreshes k, evicting the least recently used entry
+// when over capacity. It returns the evicted value, if any, so callers
+// owning external resources can release them.
+func (l *lru[K, V]) put(k K, v V) (evicted V, wasEvicted bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.ents[k]; ok {
+		e.val = v
+		l.moveToFront(e)
+		return evicted, false
+	}
+	e := &lruEntry[K, V]{key: k, val: v}
+	l.ents[k] = e
+	l.pushFront(e)
+	if len(l.ents) > l.cap {
+		lru := l.tail
+		l.unlink(lru)
+		delete(l.ents, lru.key)
+		return lru.val, true
+	}
+	return evicted, false
+}
+
+// len reports the current entry count.
+func (l *lru[K, V]) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ents)
+}
+
+// counters reports lifetime hits and misses.
+func (l *lru[K, V]) counters() (hits, misses int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses
+}
+
+func (l *lru[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lru[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *lru[K, V]) moveToFront(e *lruEntry[K, V]) {
+	if l.head == e {
+		return
+	}
+	l.unlink(e)
+	l.pushFront(e)
+}

@@ -1,0 +1,50 @@
+package service
+
+import "testing"
+
+func TestLRUEviction(t *testing.T) {
+	l := newLRU[string, int](2)
+	l.put("a", 1)
+	l.put("b", 2)
+	if _, evicted := l.put("c", 3); !evicted {
+		t.Fatal("no eviction at capacity")
+	}
+	if _, ok := l.get("a"); ok {
+		t.Error("least recently used entry survived")
+	}
+	for k, want := range map[string]int{"b": 2, "c": 3} {
+		if v, ok := l.get(k); !ok || v != want {
+			t.Errorf("get(%q) = %d, %v", k, v, ok)
+		}
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	l := newLRU[string, int](2)
+	l.put("a", 1)
+	l.put("b", 2)
+	l.get("a") // refresh a; b becomes the eviction candidate
+	l.put("c", 3)
+	if _, ok := l.get("b"); ok {
+		t.Error("refreshed entry evicted instead of stale one")
+	}
+	if _, ok := l.get("a"); !ok {
+		t.Error("refreshed entry lost")
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	l := newLRU[string, int](2)
+	l.put("a", 1)
+	l.put("a", 9)
+	if l.len() != 1 {
+		t.Fatalf("len = %d, want 1", l.len())
+	}
+	if v, _ := l.get("a"); v != 9 {
+		t.Errorf("get = %d, want 9", v)
+	}
+	hits, misses := l.counters()
+	if hits != 1 || misses != 0 {
+		t.Errorf("counters = %d hits, %d misses", hits, misses)
+	}
+}

@@ -1,0 +1,593 @@
+// Package service is the MST-as-a-service layer: a long-lived job
+// server over congestmst.RunContext. Clients upload graphs as NDJSON
+// edge lists (or name a built-in generator inline), submit asynchronous
+// jobs against any algorithm × engine combination, poll or cancel them,
+// and repeated queries are answered from an LRU result cache keyed by
+// (graph digest, algorithm, engine, bandwidth, root, fixed-k) without
+// recomputation.
+//
+// HTTP API (all bodies JSON; errors are {"error": "..."}):
+//
+//	POST   /graphs     NDJSON upload: {"n":N} then {"u":..,"v":..,"w":..} per line → {graph, n, m}
+//	GET    /graphs/{digest}            → {graph, n, m}
+//	POST   /jobs       JobRequest      → 200 JobView (cache hit) or 202 JobView (queued)
+//	GET    /jobs       list            → {jobs: [JobView]}
+//	GET    /jobs/{id}  poll            → JobView
+//	DELETE /jobs/{id}  cancel          → JobView
+//	GET    /healthz                    → {status, queued, running}
+//	GET    /stats                      → counters, cache and pool gauges
+//
+// Execution is a bounded worker pool: Config.Workers runs at most that
+// many engines concurrently, Config.QueueDepth bounds admission (a
+// full queue is a 503, not an unbounded backlog), and DELETE cancels
+// through the job's context — a queued job dies immediately, a running
+// one at its engine's next round boundary.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"congestmst"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default 4).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-started jobs
+	// (default 64); submissions beyond it get 503.
+	QueueDepth int
+	// CacheSize is the result cache capacity in entries (default 128).
+	CacheSize int
+	// MaxGraphs bounds the uploaded-graph store (default 32, LRU).
+	MaxGraphs int
+	// MaxUploadBytes bounds one NDJSON upload body (default 256 MiB).
+	MaxUploadBytes int64
+	// MaxJobs bounds the retained job table, finished jobs evicted
+	// oldest-first (default 4096).
+	MaxJobs int
+	// MaxGenVertices and MaxGenEdges bound the graphs one request may
+	// introduce (defaults 2·10^6 and 10^7) — inline generator specs
+	// are sized via GraphSpec.SizeHint and upload headers/edge counts
+	// are checked while streaming, in both cases before anything
+	// n-sized is allocated, so one request cannot commit the server to
+	// an arbitrarily large build.
+	MaxGenVertices int64
+	MaxGenEdges    int64
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 4
+	}
+	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize <= 0 {
+		return 128
+	}
+	return c.CacheSize
+}
+
+func (c Config) maxGraphs() int {
+	if c.MaxGraphs <= 0 {
+		return 32
+	}
+	return c.MaxGraphs
+}
+
+func (c Config) maxUploadBytes() int64 {
+	if c.MaxUploadBytes <= 0 {
+		return 256 << 20
+	}
+	return c.MaxUploadBytes
+}
+
+func (c Config) maxJobs() int {
+	if c.MaxJobs <= 0 {
+		return 4096
+	}
+	return c.MaxJobs
+}
+
+func (c Config) maxGenVertices() int64 {
+	if c.MaxGenVertices <= 0 {
+		return 2_000_000
+	}
+	return c.MaxGenVertices
+}
+
+func (c Config) maxGenEdges() int64 {
+	if c.MaxGenEdges <= 0 {
+		return 10_000_000
+	}
+	return c.MaxGenEdges
+}
+
+// Server is one MST job service: an HTTP handler plus its worker pool.
+// Create with New, serve via Handler, stop with Close.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	graphs *graphStore
+	cache  *lru[cacheKey, *JobResult]
+	// genDigests memoizes generator specs → (digest, n, m) so repeated
+	// gen-spec submissions can hit the result cache without rebuilding
+	// the graph.
+	genDigests *lru[string, genMemo]
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*job
+	order  []string // submission order, for listing and eviction
+	nextID int64
+
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsRejected  atomic.Int64
+	cacheServed   atomic.Int64
+}
+
+// New starts a Server (its worker pool runs until Close).
+func New(cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		graphs:     newGraphStore(cfg.maxGraphs()),
+		cache:      newLRU[cacheKey, *JobResult](cfg.cacheSize()),
+		genDigests: newLRU[string, genMemo](cfg.cacheSize()),
+		baseCtx:    ctx,
+		stop:       cancel,
+		queue:      make(chan *job, cfg.queueDepth()),
+		jobs:       make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /graphs", s.handleUploadGraph)
+	s.mux.HandleFunc("GET /graphs/{digest}", s.handleGetGraph)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	for w := 0; w < cfg.workers(); w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				j.run(s)
+			}
+		}()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops admission, cancels every queued and running job, and
+// waits for the worker pool to drain. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, j := range s.jobs {
+		if j.tryCancel() {
+			s.jobsCanceled.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	s.stop()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+type graphInfo struct {
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+}
+
+// genMemo is one spec→digest memo line: enough to key the result cache
+// and validate options without rebuilding the graph.
+type genMemo struct {
+	digest string
+	n, m   int
+}
+
+// errTrackReader remembers the first non-EOF error its inner reader
+// returns. The NDJSON scanner surfaces a body cut off by
+// http.MaxBytesReader as a parse error on the truncated final line, so
+// the handler needs the underlying read error to report 413 instead of
+// a misleading 400 — without buffering the whole body to find out.
+type errTrackReader struct {
+	r   io.Reader
+	err error
+}
+
+func (t *errTrackReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF && t.err == nil {
+		t.err = err
+	}
+	return n, err
+}
+
+func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	// MaxBytesReader (unlike a bare LimitReader) errors past the bound
+	// instead of silently truncating — an oversized upload must be a
+	// 413, never a 201 for a prefix of the graph.
+	body := &errTrackReader{r: http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes())}
+	g, err := parseNDJSON(body, s.cfg.maxGenVertices(), s.cfg.maxGenEdges())
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(body.err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad NDJSON upload: %v", err)
+		return
+	}
+	digest := digestGraph(g)
+	code := http.StatusCreated
+	if _, ok := s.graphs.get(digest); ok {
+		code = http.StatusOK // idempotent re-upload
+	} else {
+		s.graphs.put(&storedGraph{digest: digest, g: g})
+	}
+	writeJSON(w, code, graphInfo{Graph: digest, N: g.N(), M: g.M()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.graphs.get(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("digest"))
+		return
+	}
+	writeJSON(w, http.StatusOK, graphInfo{Graph: sg.digest, N: sg.g.N(), M: sg.g.M()})
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "job request exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	alg, err := congestmst.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eng, err := congestmst.ParseEngine(req.Engine)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve the graph's identity — digest and dimensions — without
+	// building anything: cheap validation and the cache lookup must
+	// come before a handler goroutine commits to an O(n+m) build.
+	var g *congestmst.Graph
+	var digest string
+	var gn, gm int
+	switch {
+	case req.Graph != "" && req.Gen != nil:
+		writeErr(w, http.StatusBadRequest, "set either graph or gen, not both")
+		return
+	case req.Graph != "":
+		sg, ok := s.graphs.get(req.Graph)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown graph %q (upload it via POST /graphs)", req.Graph)
+			return
+		}
+		g, digest = sg.g, sg.digest
+		gn, gm = g.N(), g.M()
+	case req.Gen != nil:
+		// Size the spec before building anything: a handler goroutine
+		// must not be committed to an arbitrarily large allocation.
+		hn, hm := req.Gen.SizeHint()
+		if hn > s.cfg.maxGenVertices() || hm > s.cfg.maxGenEdges() {
+			writeErr(w, http.StatusBadRequest,
+				"generator spec too large: ~%d vertices / ~%d edges (limits %d / %d)",
+				hn, hm, s.cfg.maxGenVertices(), s.cfg.maxGenEdges())
+			return
+		}
+		// The spec→digest memo lets a repeated generator submission
+		// reach the result cache without regenerating the graph. On a
+		// memo miss the dimensions come from the size hint (exact in n
+		// for every known type) and the build is deferred until every
+		// cheap check has passed.
+		if memo, ok := s.genDigests.get(fmt.Sprintf("%+v", *req.Gen)); ok {
+			digest, gn, gm = memo.digest, memo.n, memo.m
+		} else {
+			gn, gm = int(hn), int(hm)
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "job names no graph: set graph (a digest) or gen (a generator spec)")
+		return
+	}
+
+	opts := congestmst.Options{
+		Algorithm: alg,
+		Engine:    eng,
+		Workers:   req.Workers,
+		Shards:    req.Shards,
+		Bandwidth: req.Bandwidth,
+		Root:      req.Root,
+		FixedK:    req.FixedK,
+	}
+	if err := opts.Validate(gn); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.TimeoutMillis < 0 {
+		writeErr(w, http.StatusBadRequest, "timeout_ms %d is negative", req.TimeoutMillis)
+		return
+	}
+	// Normalize defaults into the options before keying the cache, so
+	// "bandwidth omitted" and "bandwidth: 1" share one cache line.
+	if opts.Bandwidth == 0 {
+		opts.Bandwidth = 1
+	}
+
+	// An unmemoized generator spec has no digest yet: build now (all
+	// cheap checks have passed), memoize, and refresh the dimensions
+	// with the exact values.
+	if digest == "" {
+		g, err = req.Gen.Build()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "generator: %v", err)
+			return
+		}
+		digest, gn, gm = digestGraph(g), g.N(), g.M()
+		s.genDigests.put(fmt.Sprintf("%+v", *req.Gen), genMemo{digest: digest, n: gn, m: gm})
+	}
+
+	key := cacheKey{
+		digest:    digest,
+		algorithm: alg,
+		engine:    eng,
+		bandwidth: opts.Bandwidth,
+		root:      opts.Root,
+		fixedK:    opts.FixedK,
+	}
+
+	// Cache lookup before admission: a hit is resolved inline, without
+	// touching the queue or recomputing (or, for memoized generator
+	// specs, even building) anything.
+	var hit *JobResult
+	if !req.NoCache {
+		if cached, ok := s.cache.get(key); ok {
+			out := *cached
+			if !req.IncludeEdges {
+				out.MSTEdges = nil
+			}
+			hit = &out
+		}
+	}
+	if hit == nil && g == nil {
+		// Memoized gen spec whose result has since been evicted from
+		// the cache: the run needs the graph after all.
+		g, err = req.Gen.Build()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "generator: %v", err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%d", s.nextID)
+	jctx, jcancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:     id,
+		key:    key,
+		req:    req,
+		n:      gn,
+		m:      gm,
+		opts:   opts,
+		ctx:    jctx,
+		cancel: jcancel,
+		status: StatusQueued,
+	}
+	if hit != nil {
+		// A cache hit is published already terminal — never observable
+		// as "queued" by a concurrent Close or a GET /jobs listing —
+		// and holds no graph or live context.
+		j.status = StatusDone
+		j.result = hit
+		j.cached = true
+	} else {
+		j.g = g
+		// Non-blocking send under the lock: Close flips s.closed before
+		// closing the queue, so no send can race the close. A rejected
+		// job is never recorded — the client only ever sees the 503, so
+		// a table entry would just be an unpollable phantom competing
+		// for the retention bound.
+		enqueued := false
+		select {
+		case s.queue <- j:
+			enqueued = true
+		default:
+		}
+		if !enqueued {
+			s.mu.Unlock()
+			s.jobsRejected.Add(1)
+			jcancel()
+			writeErr(w, http.StatusServiceUnavailable, "job queue full (depth %d)", s.cfg.queueDepth())
+			return
+		}
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+	s.jobsSubmitted.Add(1)
+
+	if hit != nil {
+		j.cancel()
+		s.cacheServed.Add(1)
+		s.jobsDone.Add(1)
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// evictJobsLocked trims the retained job table to the configured bound,
+// dropping the oldest terminal jobs first. Live jobs are never dropped.
+func (s *Server) evictJobsLocked() {
+	maxJobs := s.cfg.maxJobs()
+	if len(s.jobs) <= maxJobs {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) > maxJobs {
+			j.mu.Lock()
+			terminal := j.terminalLocked()
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				continue
+			}
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.view())
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	if j.tryCancel() {
+		s.jobsCanceled.Add(1)
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			views = append(views, j.view())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string][]JobView{"jobs": views})
+}
+
+func (s *Server) countByStatus() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.status {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.countByStatus()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"queued":  queued,
+		"running": running,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.countByStatus()
+	hits, misses := s.cache.counters()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":        s.cfg.workers(),
+		"queue_depth":    s.cfg.queueDepth(),
+		"queued":         queued,
+		"running":        running,
+		"jobs_submitted": s.jobsSubmitted.Load(),
+		"jobs_done":      s.jobsDone.Load(),
+		"jobs_failed":    s.jobsFailed.Load(),
+		"jobs_canceled":  s.jobsCanceled.Load(),
+		"jobs_rejected":  s.jobsRejected.Load(),
+		"cache_served":   s.cacheServed.Load(),
+		"cache_entries":  s.cache.len(),
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+		"graphs_stored":  s.graphs.len(),
+	})
+}

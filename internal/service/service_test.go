@@ -1,0 +1,546 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"congestmst"
+)
+
+// newTestServer starts a service plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func doJSON(t *testing.T, method, url string, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob polls GET /jobs/{id} until the job reaches a terminal
+// status or the deadline passes.
+func pollJob(t *testing.T, base, id string, deadline time.Duration) JobView {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		var v JobView
+		if code := doJSON(t, http.MethodGet, base+"/jobs/"+id, "", &v); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		switch v.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			return v
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s still %q after %v", id, v.Status, deadline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// smallNDJSON is a 4-cycle with a chord; its MST is edges (0,1), (1,2),
+// (2,3) with weight 6.
+const smallNDJSON = `{"n":4}
+{"u":0,"v":1,"w":1}
+{"u":1,"v":2,"w":2}
+{"u":2,"v":3,"w":3}
+{"u":3,"v":0,"w":4}
+{"u":0,"v":2,"w":5}
+`
+
+// longJob is a minute-scale workload (path ⇒ diameter-bound rounds);
+// any test that sees it finish quickly has a bug.
+const longJob = `{"gen":{"type":"path","n":20000},"algorithm":"elkin"}`
+
+func TestUploadGraphAndRunJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	var up graphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs", smallNDJSON, &up); code != http.StatusCreated {
+		t.Fatalf("POST /graphs = %d", code)
+	}
+	if up.N != 4 || up.M != 5 || !strings.HasPrefix(up.Graph, "sha256:") {
+		t.Fatalf("upload info %+v", up)
+	}
+	// Idempotent re-upload: same digest, 200.
+	var again graphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs", smallNDJSON, &again); code != http.StatusOK || again.Graph != up.Graph {
+		t.Fatalf("re-upload = %d, %+v", code, again)
+	}
+
+	var jv JobView
+	body := fmt.Sprintf(`{"graph":%q,"algorithm":"elkin","engine":"lockstep","include_edges":true}`, up.Graph)
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body, &jv); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d (%+v)", code, jv)
+	}
+	done := pollJob(t, ts.URL, jv.ID, 30*time.Second)
+	if done.Status != StatusDone {
+		t.Fatalf("job finished %q: %s", done.Status, done.Error)
+	}
+	if done.Result == nil || done.Result.Weight != 6 || done.Result.MSTEdgeCount != 3 {
+		t.Fatalf("result %+v, want weight 6 over 3 edges", done.Result)
+	}
+	if len(done.Result.MSTEdges) != 3 {
+		t.Fatalf("include_edges ignored: %+v", done.Result)
+	}
+}
+
+func TestCacheHitServedWithoutRecomputation(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"gen":{"type":"random","n":96,"m":288,"seed":5},"algorithm":"elkin","engine":"parallel"}`
+	var first JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body, &first); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	v1 := pollJob(t, ts.URL, first.ID, 30*time.Second)
+	if v1.Status != StatusDone || v1.Cached {
+		t.Fatalf("first run: %+v", v1)
+	}
+
+	// The repeat must come back already done in the POST response — a
+	// cache hit never touches the queue or an engine.
+	var second JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body, &second); code != http.StatusOK {
+		t.Fatalf("repeat POST /jobs = %d", code)
+	}
+	if second.Status != StatusDone || !second.Cached {
+		t.Fatalf("repeat not served from cache: %+v", second)
+	}
+	if second.Result == nil || second.Result.Weight != v1.Result.Weight ||
+		second.Result.Rounds != v1.Result.Rounds || second.Result.Messages != v1.Result.Messages {
+		t.Fatalf("cached result diverged: %+v vs %+v", second.Result, v1.Result)
+	}
+	if got := svc.cacheServed.Load(); got != 1 {
+		t.Errorf("cacheServed = %d, want 1", got)
+	}
+	// The repeat also skipped the generator itself: the spec→digest
+	// memo answered without rebuilding the graph.
+	if hits, _ := svc.genDigests.counters(); hits < 1 {
+		t.Errorf("gen memo hits = %d, want ≥ 1 (repeat rebuilt the graph)", hits)
+	}
+
+	// no_cache forces a recomputation.
+	var third JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs",
+		`{"gen":{"type":"random","n":96,"m":288,"seed":5},"algorithm":"elkin","engine":"parallel","no_cache":true}`,
+		&third); code != http.StatusAccepted {
+		t.Fatalf("no_cache POST /jobs = %d", code)
+	}
+	v3 := pollJob(t, ts.URL, third.ID, 30*time.Second)
+	if v3.Status != StatusDone || v3.Cached {
+		t.Fatalf("no_cache run: %+v", v3)
+	}
+}
+
+// TestConcurrentJobsAndCacheHits is the serving acceptance check: 8
+// concurrent submissions over a 2-worker pool all complete, and an
+// immediate resubmission of all 8 is answered entirely from the cache,
+// already done in the POST response.
+func TestConcurrentJobsAndCacheHits(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	const jobs = 8
+	body := func(i int) string {
+		return fmt.Sprintf(`{"gen":{"type":"random","n":64,"m":192,"seed":%d},"algorithm":"elkin"}`, i+1)
+	}
+	ids := make([]string, jobs)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var jv JobView
+			code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body(i), &jv)
+			if code != http.StatusAccepted {
+				t.Errorf("job %d: POST = %d", i, code)
+				return
+			}
+			mu.Lock()
+			ids[i] = jv.ID
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	weights := make([]int64, jobs)
+	for i, id := range ids {
+		if id == "" {
+			t.Fatal("a submission failed")
+		}
+		v := pollJob(t, ts.URL, id, 60*time.Second)
+		if v.Status != StatusDone {
+			t.Fatalf("job %s finished %q: %s", id, v.Status, v.Error)
+		}
+		weights[i] = v.Result.Weight
+	}
+
+	for i := 0; i < jobs; i++ {
+		var jv JobView
+		if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body(i), &jv); code != http.StatusOK {
+			t.Fatalf("resubmit %d: POST = %d", i, code)
+		}
+		if jv.Status != StatusDone || !jv.Cached || jv.Result == nil || jv.Result.Weight != weights[i] {
+			t.Fatalf("resubmit %d not a faithful cache hit: %+v", i, jv)
+		}
+	}
+	if got := svc.cacheServed.Load(); got != jobs {
+		t.Errorf("cacheServed = %d, want %d", got, jobs)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var jv JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", longJob, &jv); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	// Wait for the worker to pick it up, then cancel mid-run.
+	stop := time.Now().Add(10 * time.Second)
+	for {
+		var v JobView
+		doJSON(t, http.MethodGet, ts.URL+"/jobs/"+jv.ID, "", &v)
+		if v.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job never started: %+v", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	start := time.Now()
+	var cv JobView
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+jv.ID, "", &cv); code != http.StatusOK {
+		t.Fatalf("DELETE /jobs = %d", code)
+	}
+	final := pollJob(t, ts.URL, jv.ID, 15*time.Second)
+	if final.Status != StatusCanceled {
+		t.Fatalf("cancelled job finished %q (after %v)", final.Status, time.Since(start))
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	var blocker JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", longJob, &blocker); code != http.StatusAccepted {
+		t.Fatalf("POST blocker = %d", code)
+	}
+	var queued JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", longJob+" ", &queued); code != http.StatusAccepted {
+		t.Fatalf("POST queued = %d", code)
+	}
+	var cv JobView
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+queued.ID, "", &cv); code != http.StatusOK {
+		t.Fatalf("DELETE = %d", code)
+	}
+	if cv.Status != StatusCanceled {
+		t.Fatalf("queued job not cancelled immediately: %+v", cv)
+	}
+	// Unblock the worker for a fast test exit.
+	doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+blocker.ID, "", nil)
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	var running JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", longJob, &running); code != http.StatusAccepted {
+		t.Fatalf("POST 1 = %d", code)
+	}
+	// Wait until the worker holds job 1, so job 2 definitely sits in the
+	// queue and job 3 definitely overflows it.
+	stop := time.Now().Add(10 * time.Second)
+	for {
+		var v JobView
+		doJSON(t, http.MethodGet, ts.URL+"/jobs/"+running.ID, "", &v)
+		if v.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(stop) {
+			t.Fatal("job 1 never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var queued JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", longJob, &queued); code != http.StatusAccepted {
+		t.Fatalf("POST 2 = %d", code)
+	}
+	var rejected map[string]string
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", longJob, &rejected); code != http.StatusServiceUnavailable {
+		t.Fatalf("POST 3 = %d, want 503", code)
+	}
+	if !strings.Contains(rejected["error"], "queue full") {
+		t.Errorf("rejection error %q", rejected["error"])
+	}
+	// The rejection left no phantom: only the two admitted jobs exist.
+	var list map[string][]JobView
+	doJSON(t, http.MethodGet, ts.URL+"/jobs", "", &list)
+	if len(list["jobs"]) != 2 {
+		t.Errorf("job table holds %d jobs after a rejection, want 2", len(list["jobs"]))
+	}
+	doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+running.ID, "", nil)
+	doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+queued.ID, "", nil)
+}
+
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var jv JobView
+	body := `{"gen":{"type":"path","n":20000},"algorithm":"elkin","timeout_ms":100}`
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body, &jv); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	final := pollJob(t, ts.URL, jv.ID, 30*time.Second)
+	if final.Status != StatusCanceled {
+		t.Fatalf("deadlined job finished %q: %s", final.Status, final.Error)
+	}
+	if !strings.Contains(final.Error, "deadline") {
+		t.Errorf("error %q does not mention the deadline", final.Error)
+	}
+}
+
+func TestSubmissionValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		code int
+		want string
+	}{
+		{"no graph", `{"algorithm":"elkin"}`, http.StatusBadRequest, "names no graph"},
+		{"both graph and gen", `{"graph":"sha256:x","gen":{"type":"ring","n":8}}`, http.StatusBadRequest, "not both"},
+		{"unknown digest", `{"graph":"sha256:feed"}`, http.StatusNotFound, "unknown graph"},
+		{"bad algorithm", `{"gen":{"type":"ring","n":8},"algorithm":"kruskal"}`, http.StatusBadRequest, "unknown algorithm"},
+		{"bad engine", `{"gen":{"type":"ring","n":8},"engine":"gpu"}`, http.StatusBadRequest, "unknown engine"},
+		{"bad root", `{"gen":{"type":"ring","n":8},"root":99}`, http.StatusBadRequest, "Options.Root"},
+		{"negative bandwidth", `{"gen":{"type":"ring","n":8},"bandwidth":-1}`, http.StatusBadRequest, "Options.Bandwidth"},
+		{"negative timeout", `{"gen":{"type":"ring","n":8},"timeout_ms":-5}`, http.StatusBadRequest, "timeout_ms"},
+		{"bad gen type", `{"gen":{"type":"hypercube","n":8}}`, http.StatusBadRequest, "unknown graph type"},
+		{"negative gen size", `{"gen":{"type":"ring","n":-8}}`, http.StatusBadRequest, "negative size"},
+		{"malformed body", `{"gen":`, http.StatusBadRequest, "bad job request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out map[string]string
+			code := doJSON(t, http.MethodPost, ts.URL+"/jobs", tc.body, &out)
+			if code != tc.code {
+				t.Fatalf("POST = %d, want %d (%v)", code, tc.code, out)
+			}
+			if !strings.Contains(out["error"], tc.want) {
+				t.Errorf("error %q missing %q", out["error"], tc.want)
+			}
+		})
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"empty", "", "empty upload"},
+		{"negative n", "{\"n\":-3}\n", "negative vertex count"},
+		// A tiny body declaring a huge n must be rejected from the
+		// header, before anything n-sized is allocated.
+		{"huge n", "{\"n\":2000000000}\n{\"u\":0,\"v\":1}\n", "vertex count 2000000000 exceeds"},
+		{"garbage header", "nope\n", "header"},
+		{"duplicate edge", `{"n":3}` + "\n" + `{"u":0,"v":1}` + "\n" + `{"u":1,"v":0}` + "\n", "duplicate edge"},
+		{"out of range", `{"n":2}` + "\n" + `{"u":0,"v":5}` + "\n", "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out map[string]string
+			code := doJSON(t, http.MethodPost, ts.URL+"/graphs", tc.body, &out)
+			if code != http.StatusBadRequest {
+				t.Fatalf("POST = %d, want 400 (%v)", code, out)
+			}
+			if !strings.Contains(out["error"], tc.want) {
+				t.Errorf("error %q missing %q", out["error"], tc.want)
+			}
+		})
+	}
+}
+
+// TestUploadTooLarge: past MaxUploadBytes the upload must be a 413 —
+// never a 201 for a silently truncated prefix of the graph.
+func TestUploadTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxUploadBytes: 64})
+	body := smallNDJSON + strings.Repeat(`{"u":0,"v":3,"w":9}`+"\n", 10)
+	var out map[string]string
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs", body, &out); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("POST /graphs = %d, want 413 (%v)", code, out)
+	}
+}
+
+// TestGenSpecTooLarge: an inline generator beyond the admission bound
+// is rejected from its size hint, before any allocation.
+func TestGenSpecTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var out map[string]string
+	body := `{"gen":{"type":"complete","n":200000}}` // ~2·10^10 edges
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body, &out); code != http.StatusBadRequest {
+		t.Fatalf("POST /jobs = %d, want 400 (%v)", code, out)
+	}
+	if !strings.Contains(out["error"], "too large") {
+		t.Errorf("error %q", out["error"])
+	}
+}
+
+// TestCacheKeyNormalizesBandwidth: omitted bandwidth and an explicit
+// bandwidth of 1 are the same run and must share one cache line.
+func TestCacheKeyNormalizesBandwidth(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var first JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs",
+		`{"gen":{"type":"ring","n":32}}`, &first); code != http.StatusAccepted {
+		t.Fatalf("POST 1 = %d", code)
+	}
+	pollJob(t, ts.URL, first.ID, 30*time.Second)
+	var second JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs",
+		`{"gen":{"type":"ring","n":32},"bandwidth":1}`, &second); code != http.StatusOK {
+		t.Fatalf("POST 2 = %d, want cache-hit 200", code)
+	}
+	if !second.Cached {
+		t.Errorf("explicit bandwidth 1 missed the default-bandwidth cache line: %+v", second)
+	}
+}
+
+func TestUnknownJobRoutes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/j999", "", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown job = %d", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/j999", "", nil); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown job = %d", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/graphs/sha256:dead", "", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown graph = %d", code)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	var health map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", "", &health); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz %+v", health)
+	}
+	var stats map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/stats", "", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if stats["workers"].(float64) != 2 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+func TestListJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	var jv JobView
+	doJSON(t, http.MethodPost, ts.URL+"/jobs", `{"gen":{"type":"ring","n":16}}`, &jv)
+	pollJob(t, ts.URL, jv.ID, 30*time.Second)
+	var list map[string][]JobView
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs", "", &list); code != http.StatusOK {
+		t.Fatalf("GET /jobs = %d", code)
+	}
+	if len(list["jobs"]) != 1 || list["jobs"][0].ID != jv.ID {
+		t.Errorf("list %+v", list)
+	}
+}
+
+// TestCloseCancelsRunningJobs: Close must cancel in-flight work and
+// drain the pool promptly — the shutdown path of cmd/mstserved.
+func TestCloseCancelsRunningJobs(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	var jv JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", longJob, &jv); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	stop := time.Now().Add(10 * time.Second)
+	for {
+		var v JobView
+		doJSON(t, http.MethodGet, ts.URL+"/jobs/"+jv.ID, "", &v)
+		if v.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(stop) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not drain the pool")
+	}
+}
+
+// TestNDJSONRoundTrip pins digest determinism and the unit-weight
+// default directly at the parser.
+func TestNDJSONRoundTrip(t *testing.T) {
+	g1, err := parseNDJSON(bytes.NewReader([]byte(smallNDJSON)), 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := parseNDJSON(bytes.NewReader([]byte(smallNDJSON)), 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digestGraph(g1) != digestGraph(g2) {
+		t.Error("digest not deterministic")
+	}
+	res, err := congestmst.Run(g1, congestmst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 6 {
+		t.Errorf("weight %d, want 6", res.Weight)
+	}
+	gu, err := parseNDJSON(strings.NewReader("{\"n\":2}\n{\"u\":0,\"v\":1}\n"), 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gu.Edge(0).W != 1 {
+		t.Errorf("default weight %d, want 1", gu.Edge(0).W)
+	}
+}

@@ -1,0 +1,79 @@
+package congestmst
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOptionValidation is the admission table: every malformed option
+// must be rejected with an error naming the option, before any engine
+// spawns, on all three engines alike. Two of these rows are regression
+// pins: Root out of range used to surface as a deep
+// "congest: deadlock" after a full (doomed) run, and Bandwidth: -1 was
+// silently accepted.
+func TestOptionValidation(t *testing.T) {
+	g, err := RandomConnected(16, 48, GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring the error must carry
+	}{
+		{"root too large", Options{Root: 99}, "Options.Root 99 out of range [0,16)"},
+		{"root negative", Options{Root: -1}, "Options.Root"},
+		{"negative bandwidth", Options{Bandwidth: -1}, "Options.Bandwidth"},
+		{"negative workers", Options{Workers: -2}, "Options.Workers"},
+		{"negative shards", Options{Shards: -3}, "Options.Shards"},
+		{"negative fixed k", Options{Algorithm: ElkinFixedK, FixedK: -4}, "Options.FixedK"},
+		{"negative max rounds", Options{MaxRounds: -5}, "Options.MaxRounds"},
+	}
+	engines := []Engine{Lockstep, Parallel, Cluster}
+	for _, eng := range engines {
+		for _, tc := range cases {
+			t.Run(eng.String()+"/"+tc.name, func(t *testing.T) {
+				opts := tc.opts
+				opts.Engine = eng
+				_, err := Run(g, opts)
+				if err == nil {
+					t.Fatalf("Run(%+v) accepted malformed options", opts)
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Errorf("error %q does not name the option (want substring %q)", err, tc.want)
+				}
+			})
+		}
+	}
+}
+
+// TestOptionValidationBoundaryRoot pins the valid extremes: the last
+// vertex is a legal root, and vertex 0 on a singleton graph is too.
+func TestOptionValidationBoundaryRoot(t *testing.T) {
+	g, err := RandomConnected(16, 48, GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Options{Root: 15}); err != nil {
+		t.Errorf("Root 15 on n=16 rejected: %v", err)
+	}
+	single := NewBuilder(1).MustGraph()
+	if _, err := Run(single, Options{}); err != nil {
+		t.Errorf("Root 0 on n=1 rejected: %v", err)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"elkin": Elkin, "ELKIN": Elkin, "": Elkin,
+		"elkin-fixed-k": ElkinFixedK, "ghs": GHS, "Pipeline": Pipeline,
+	} {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseAlgorithm("kruskal"); err == nil {
+		t.Error("ParseAlgorithm accepted an unknown name")
+	}
+}

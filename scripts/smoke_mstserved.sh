@@ -1,0 +1,72 @@
+#!/bin/sh
+# End-to-end smoke for cmd/mstserved against a race-built binary:
+# start the server, upload a graph, run a small job to completion,
+# verify the repeat is a cache hit, then cancel a minute-scale job and
+# require it to die promptly. CI runs this on every push; locally it is
+# `make smoke-serve`.
+set -eu
+
+ADDR="127.0.0.1:${MSTSERVED_PORT:-8356}"
+BASE="http://$ADDR"
+BIN="${TMPDIR:-/tmp}/mstserved-smoke"
+
+json_field() { # json_field <key>  — extract a string/number field from stdin
+    python3 -c "import json,sys; print(json.load(sys.stdin)[\"$1\"])"
+}
+
+go build -race -o "$BIN" ./cmd/mstserved
+"$BIN" -addr "$ADDR" -workers 2 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "FAIL: server never became healthy"; exit 1; }
+    sleep 0.2
+done
+echo "ok: server healthy at $BASE"
+
+DIGEST=$(printf '%s\n' \
+    '{"n":4}' '{"u":0,"v":1,"w":1}' '{"u":1,"v":2,"w":2}' \
+    '{"u":2,"v":3,"w":3}' '{"u":3,"v":0,"w":4}' '{"u":0,"v":2,"w":5}' |
+    curl -sf --data-binary @- "$BASE/graphs" | json_field graph)
+echo "ok: uploaded graph $DIGEST"
+
+JOB=$(curl -sf -X POST -d "{\"graph\":\"$DIGEST\",\"algorithm\":\"elkin\"}" "$BASE/jobs" | json_field id)
+i=0
+while :; do
+    STATUS=$(curl -sf "$BASE/jobs/$JOB" | json_field status)
+    [ "$STATUS" = done ] && break
+    [ "$STATUS" = failed ] || [ "$STATUS" = canceled ] && { echo "FAIL: job $JOB $STATUS"; exit 1; }
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "FAIL: job $JOB stuck in $STATUS"; exit 1; }
+    sleep 0.2
+done
+WEIGHT=$(curl -sf "$BASE/jobs/$JOB" | python3 -c 'import json,sys; print(json.load(sys.stdin)["result"]["weight"])')
+[ "$WEIGHT" = 6 ] || { echo "FAIL: weight $WEIGHT, want 6"; exit 1; }
+echo "ok: job $JOB done, MST weight 6"
+
+CACHED=$(curl -sf -X POST -d "{\"graph\":\"$DIGEST\",\"algorithm\":\"elkin\"}" "$BASE/jobs" | json_field cached)
+[ "$CACHED" = True ] || [ "$CACHED" = true ] || { echo "FAIL: repeat submission not served from cache"; exit 1; }
+echo "ok: repeat submission was a cache hit"
+
+# A minute-scale job (path => diameter-bound rounds), cancelled mid-run.
+LONG=$(curl -sf -X POST -d '{"gen":{"type":"path","n":20000},"algorithm":"elkin"}' "$BASE/jobs" | json_field id)
+sleep 1
+curl -sf -X DELETE "$BASE/jobs/$LONG" >/dev/null
+i=0
+while :; do
+    STATUS=$(curl -sf "$BASE/jobs/$LONG" | json_field status)
+    [ "$STATUS" = canceled ] && break
+    [ "$STATUS" = done ] && { echo "FAIL: long job finished before the cancel took"; exit 1; }
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "FAIL: long job stuck in $STATUS after cancel"; exit 1; }
+    sleep 0.2
+done
+echo "ok: long job $LONG cancelled mid-run"
+
+kill "$SRV"
+wait "$SRV" 2>/dev/null || true
+trap - EXIT
+echo "PASS: mstserved smoke"
