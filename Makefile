@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race bench-tables bench-cluster serve smoke-serve check
+.PHONY: all build fmt vet test test-short race fuzz bench-tables bench-cluster serve smoke-serve check
 
 all: check
 
@@ -26,6 +26,13 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/parsim/ ./internal/congest/ ./internal/nettrans/ ./internal/service/ .
+
+# Coverage-guided fuzzing of NDJSON edge lists through graph.Builder →
+# Run against a Kruskal oracle. FUZZTIME matches the CI budget; crank
+# it locally (`make fuzz FUZZTIME=10m`) for a deeper hunt.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzBuildAndRun -fuzztime $(FUZZTIME) .
 
 bench-tables:
 	$(GO) run ./cmd/mstbench

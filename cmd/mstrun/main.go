@@ -10,6 +10,12 @@
 //	mstrun -graph pathmst -n 2048 -alg pipeline -edges
 //	mstrun -graph random -n 1000000 -m 3000000 -alg elkin -engine parallel
 //	mstrun -graph grid -rows 64 -cols 64 -alg elkin -engine cluster -shards 4
+//	mstrun -graph random -n 1024 -m 4096 -updates ops.ndjson
+//
+// With -updates, the computed MST is then repaired incrementally under
+// an NDJSON edge-op stream (one {"op":"insert","u":..,"v":..,"w":..}
+// or {"op":"delete","u":..,"v":..} per line) instead of recomputed,
+// and the replay summary is printed alongside the run.
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 		edges     = flag.Bool("edges", false, "print the MST edge list")
 		metrics   = flag.Bool("metrics", false, "print the Equation (1) round decomposition (elkin only)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C always cancels")
+		updates   = flag.String("updates", "", "NDJSON edge-op file replayed through the incremental MST layer after the run")
 	)
 	flag.Parse()
 	// Ctrl-C (and an optional -timeout) cancel the run through the
@@ -58,14 +65,14 @@ func main() {
 		defer cancel()
 	}
 	if err := run(ctx, *graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
-		*alg, *engine, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics); err != nil {
+		*alg, *engine, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics, *updates); err != nil {
 		fmt.Fprintln(os.Stderr, "mstrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail int, seed uint64,
-	weights, alg, engine string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool) error {
+	weights, alg, engine string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool, updates string) error {
 	g, err := congestmst.GraphSpec{
 		Type: graphType, N: n, M: m, Rows: rows, Cols: cols,
 		Clique: clique, Tail: tail, Seed: seed, Weights: weights,
@@ -132,5 +139,57 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 			fmt.Printf("  (%d, %d) w=%d\n", e.U, e.V, e.W)
 		}
 	}
+	if updates != "" {
+		if err := replayUpdates(g, res.MSTEdges, updates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayUpdates repairs the computed MST under the NDJSON op file via
+// the incremental layer (no second engine run) and prints the delta,
+// the repair-work counters, and a from-scratch verification.
+func replayUpdates(g *congestmst.Graph, mst []int, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ops, err := congestmst.ParseEdgeOps(f, 0)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	sess, err := congestmst.NewDynamicSession(g, mst)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	delta, stats, err := sess.Apply(ops)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("updates   : %d ops (%d inserts, %d deletes) in %v\n",
+		stats.Ops, stats.Inserts, stats.Deletes, elapsed.Round(time.Microsecond))
+	fmt.Printf("repairs   : %d swaps, %d joins, %d replacements, %d splits (%d path arcs, %d cut arcs)\n",
+		stats.Swaps, stats.Joins, stats.Replacements, stats.Splits, stats.PathArcs, stats.CutArcs)
+	fmt.Printf("tree delta: +%d -%d edges\n", len(delta.Added), len(delta.Removed))
+	check := "verified against from-scratch recompute"
+	patched, _, err := sess.Materialize()
+	if err != nil {
+		return err
+	}
+	if patched.M() > congestmst.VerifyAutoEdgeLimit {
+		check = fmt.Sprintf("recompute check skipped above %d edges", congestmst.VerifyAutoEdgeLimit)
+	} else {
+		msf := patched.MSF()
+		if w := patched.TotalWeight(msf); w != delta.Weight || len(msf) != sess.TreeSize() {
+			return fmt.Errorf("incremental repair diverged from recompute: weight %d vs %d, %d vs %d edges",
+				delta.Weight, w, sess.TreeSize(), len(msf))
+		}
+	}
+	fmt.Printf("new forest: weight %d, %d edges, %d component(s), %s\n",
+		delta.Weight, sess.TreeSize(), delta.Components, check)
 	return nil
 }

@@ -19,6 +19,13 @@
 //
 //	curl -s http://127.0.0.1:8356/jobs/j1        # poll
 //	curl -s -X DELETE http://127.0.0.1:8356/jobs/j1  # cancel mid-run
+//
+//	# Patch the graph with NDJSON edge ops: the MST is repaired
+//	# incrementally (no engine run) and stored under a derived digest;
+//	# an unchanged repair carries cached results over, so jobs on the
+//	# patched graph can be cache hits that never touch the queue.
+//	curl -s -X PATCH http://127.0.0.1:8356/graphs/sha256:… \
+//	  --data-binary '{"op":"insert","u":1,"v":3,"w":99}'
 package main
 
 import (

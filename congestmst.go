@@ -25,6 +25,7 @@ import (
 
 	"congestmst/internal/congest"
 	"congestmst/internal/core"
+	"congestmst/internal/dynamic"
 	"congestmst/internal/forest"
 	"congestmst/internal/ghs"
 	"congestmst/internal/graph"
@@ -196,6 +197,44 @@ var (
 // NewForestTrace allocates a ForestTrace for a graph of n vertices and
 // base-forest parameter k.
 func NewForestTrace(n, k int) *ForestTrace { return forest.NewTrace(n, k) }
+
+// Re-exported incremental-update API (internal/dynamic): a computed
+// MST plus a stream of edge inserts/deletes is repaired in place —
+// insert via the tree-path maximum-weight cycle rule, delete via a
+// cut-replacement search — instead of recomputed from scratch. The
+// mstserved PATCH /graphs/{digest} endpoint and mstrun's -updates
+// replay mode are both built on this layer.
+type (
+	// DynamicSession maintains the minimum spanning forest of an
+	// evolving edge set. Not safe for concurrent use.
+	DynamicSession = dynamic.Session
+	// EdgeOp is one edge insert or delete, with an NDJSON wire form.
+	EdgeOp = dynamic.EdgeOp
+	// EdgeOpKind tags an EdgeOp as OpInsert or OpDelete.
+	EdgeOpKind = dynamic.OpKind
+	// UpdateDelta is the net tree change of one Apply batch.
+	UpdateDelta = dynamic.Delta
+	// UpdateStats counts the repair work one Apply batch performed.
+	UpdateStats = dynamic.Stats
+)
+
+// Re-exported edge-op kinds.
+const (
+	OpInsert = dynamic.Insert
+	OpDelete = dynamic.Delete
+)
+
+// Re-exported incremental-update constructors.
+var (
+	// NewDynamicSession starts a session over a graph with a computed
+	// MST (edge indices, e.g. Result.MSTEdges or Graph.MSF()) as the
+	// starting forest.
+	NewDynamicSession = dynamic.NewSession
+	// ParseEdgeOps reads an NDJSON edge-op stream (one object per
+	// line: {"op":"insert","u":..,"v":..,"w":..} or
+	// {"op":"delete","u":..,"v":..}).
+	ParseEdgeOps = dynamic.ParseOps
+)
 
 // VerifyMode selects how much post-run checking Run performs on the
 // computed MST.

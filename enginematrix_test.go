@@ -2,6 +2,7 @@ package congestmst_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"congestmst"
@@ -83,6 +84,125 @@ func TestEngineMatrixDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// reweighted rebuilds g with weights assigned by f over the edge
+// index, for tie-heavy variants of the standard generators.
+func reweighted(t *testing.T, g *congestmst.Graph, f func(i int) int64) *congestmst.Graph {
+	t.Helper()
+	b := congestmst.NewBuilder(g.N())
+	for i, e := range g.Edges() {
+		b.AddEdge(e.U, e.V, f(i))
+	}
+	out, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEngineMatrixTieBreaking pins deterministic tie-breaking across
+// the engines: with every weight equal (or drawn from a 3-value
+// palette), the MST is decided entirely by the lexicographic
+// (w, u, v) order, and all three engines must still agree bit-for-bit
+// on the tree, the rounds, and the per-kind counters for every
+// algorithm.
+func TestEngineMatrixTieBreaking(t *testing.T) {
+	random, err := congestmst.RandomConnected(96, 288, congestmst.GenOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type gen struct {
+		name string
+		g    *congestmst.Graph
+	}
+	gens := []gen{
+		{"random-96-unit", reweighted(t, random, func(int) int64 { return 1 })},
+		{"random-96-three-weights", reweighted(t, random, func(i int) int64 { return int64(i%3 + 1) })},
+		{"grid-6x8-unit", congestmst.Grid(6, 8, congestmst.GenOptions{Seed: 22, Weights: congestmst.WeightsUnit})},
+		{"ring-24-unit", congestmst.Ring(24, congestmst.GenOptions{Seed: 23, Weights: congestmst.WeightsUnit})},
+	}
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
+	}
+	for _, gn := range gens {
+		for _, alg := range algs {
+			t.Run(fmt.Sprintf("%s/%s", gn.name, alg), func(t *testing.T) {
+				lock, err := congestmst.Run(gn.g, congestmst.Options{
+					Algorithm: alg, Engine: congestmst.Lockstep,
+				})
+				if err != nil {
+					t.Fatalf("lockstep: %v", err)
+				}
+				// The tie-broken tree must equal the unique Kruskal MST,
+				// not merely some spanning tree of the right weight.
+				want, err := gn.g.Kruskal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(lock.MSTEdges) != len(want) {
+					t.Fatalf("lockstep MST has %d edges, Kruskal %d", len(lock.MSTEdges), len(want))
+				}
+				for i := range want {
+					if lock.MSTEdges[i] != want[i] {
+						t.Fatalf("lockstep MST edge %d = %d, Kruskal %d", i, lock.MSTEdges[i], want[i])
+					}
+				}
+				for _, eng := range enginesUnderTest {
+					opts := eng
+					opts.Algorithm = alg
+					got, err := congestmst.Run(gn.g, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", opts.Engine, err)
+					}
+					requireSameRun(t, opts.Engine.String(), lock, got)
+				}
+			})
+		}
+	}
+}
+
+// TestDegenerateEdgeInputsRejected pins the other half of deterministic
+// tie-breaking: self-loops and duplicate edges would make the
+// lexicographic edge order ambiguous (two edges with identical
+// (w, u, v) keys), so the builder — the single chokepoint every
+// upload, generator and patch flows through — must reject them before
+// any engine can see one.
+func TestDegenerateEdgeInputsRejected(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *congestmst.Builder)
+		want  string
+	}{
+		{"self-loop", func(b *congestmst.Builder) {
+			b.AddEdge(1, 1, 5)
+		}, "self-loop"},
+		{"duplicate same orientation", func(b *congestmst.Builder) {
+			b.AddEdge(0, 1, 5)
+			b.AddEdge(0, 1, 7)
+		}, "duplicate edge"},
+		{"duplicate reversed", func(b *congestmst.Builder) {
+			b.AddEdge(0, 1, 5)
+			b.AddEdge(1, 0, 5)
+		}, "duplicate edge"},
+		{"endpoint out of range", func(b *congestmst.Builder) {
+			b.AddEdge(0, 9, 5)
+		}, "out of range"},
+		{"negative endpoint", func(b *congestmst.Builder) {
+			b.AddEdge(-1, 2, 5)
+		}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := congestmst.NewBuilder(4)
+			b.AddEdge(2, 3, 1)
+			tc.build(b)
+			_, err := b.Graph()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Builder.Graph() err = %v, want %q", err, tc.want)
+			}
+		})
 	}
 }
 

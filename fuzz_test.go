@@ -1,0 +1,158 @@
+package congestmst_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"congestmst"
+)
+
+// fuzz caps: the fuzzer explores the validation surface and the
+// engine/oracle agreement, not scale. Weight magnitudes stay far from
+// the int64 sentinels the algorithms use for +infinity, and far enough
+// from overflow that a 256-edge total cannot wrap.
+const (
+	fuzzMaxVertices = 64
+	fuzzMaxEdges    = 256
+	fuzzMaxAbsW     = int64(1) << 40
+)
+
+// buildFromNDJSON parses the upload wire format (header {"n":N}, then
+// one {"u":..,"v":..,"w":..} per line) through the same graph.Builder
+// every other surface uses, with fuzz-sized caps. ok is false for
+// anything the service would reject as a 400.
+func buildFromNDJSON(data string) (*congestmst.Graph, bool) {
+	sc := bufio.NewScanner(strings.NewReader(data))
+	var b *congestmst.Builder
+	edges := 0
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if b == nil {
+			var hdr struct {
+				N int `json:"n"`
+			}
+			if err := json.Unmarshal([]byte(text), &hdr); err != nil || hdr.N < 0 || hdr.N > fuzzMaxVertices {
+				return nil, false
+			}
+			b = congestmst.NewBuilder(hdr.N)
+			continue
+		}
+		var e struct {
+			U int    `json:"u"`
+			V int    `json:"v"`
+			W *int64 `json:"w"`
+		}
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, false
+		}
+		if edges++; edges > fuzzMaxEdges {
+			return nil, false
+		}
+		w := int64(1)
+		if e.W != nil {
+			w = *e.W
+		}
+		if w > fuzzMaxAbsW || w < -fuzzMaxAbsW {
+			return nil, false
+		}
+		b.AddEdge(e.U, e.V, w)
+	}
+	if b == nil {
+		return nil, false
+	}
+	g, err := b.Graph()
+	if err != nil {
+		return nil, false // builder rejected it (self-loop, range, duplicate)
+	}
+	return g, true
+}
+
+// ndjsonOf serializes a generated graph back into the upload format,
+// seeding the corpus with every generator family's shape.
+func ndjsonOf(g *congestmst.Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "{\"n\":%d}\n", g.N())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "{\"u\":%d,\"v\":%d,\"w\":%d}\n", e.U, e.V, e.W)
+	}
+	return sb.String()
+}
+
+// FuzzBuildAndRun fuzzes NDJSON edge lists through graph.Builder and
+// the lockstep engine with a Kruskal oracle: every accepted connected
+// graph must produce exactly the unique MST, every disconnected one
+// must fail with ErrDisconnected, and nothing may panic. Run it longer
+// with `make fuzz`.
+func FuzzBuildAndRun(f *testing.F) {
+	mustGen := func(g *congestmst.Graph, err error) *congestmst.Graph {
+		if err != nil {
+			f.Fatal(err)
+		}
+		return g
+	}
+	seeds := []*congestmst.Graph{
+		mustGen(congestmst.RandomConnected(24, 72, congestmst.GenOptions{Seed: 3})),
+		mustGen(congestmst.RandomConnected(16, 48, congestmst.GenOptions{Seed: 4, Weights: congestmst.WeightsUnit})),
+		congestmst.Path(8, congestmst.GenOptions{Seed: 1}),
+		congestmst.Ring(6, congestmst.GenOptions{Seed: 2}),
+		congestmst.Grid(3, 4, congestmst.GenOptions{Seed: 5}),
+		congestmst.Star(7, congestmst.GenOptions{Seed: 6}),
+		congestmst.Lollipop(4, 5, congestmst.GenOptions{Seed: 7}),
+		congestmst.BinaryTree(9, congestmst.GenOptions{Seed: 8}),
+	}
+	for _, g := range seeds {
+		f.Add(ndjsonOf(g))
+	}
+	// Degenerate shapes: disconnected, singleton, empty, ties, and
+	// inputs the builder must reject.
+	f.Add("{\"n\":4}\n{\"u\":0,\"v\":1}\n{\"u\":2,\"v\":3}\n")
+	f.Add("{\"n\":1}\n")
+	f.Add("{\"n\":0}\n")
+	f.Add("{\"n\":3}\n{\"u\":0,\"v\":1,\"w\":5}\n{\"u\":1,\"v\":2,\"w\":5}\n{\"u\":0,\"v\":2,\"w\":5}\n")
+	f.Add("{\"n\":2}\n{\"u\":0,\"v\":0}\n")
+	f.Add("{\"n\":2}\n{\"u\":0,\"v\":1}\n{\"u\":1,\"v\":0}\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, ok := buildFromNDJSON(data)
+		if !ok {
+			return
+		}
+		res, err := congestmst.Run(g, congestmst.Options{Verify: congestmst.VerifyOff})
+		if !g.Connected() {
+			if !errors.Is(err, congestmst.ErrDisconnected) {
+				t.Fatalf("disconnected graph: err = %v, want ErrDisconnected", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Run failed on a valid connected graph (n=%d, m=%d): %v", g.N(), g.M(), err)
+		}
+		want, err := g.Kruskal()
+		if err != nil {
+			t.Fatalf("Kruskal oracle: %v", err)
+		}
+		if len(res.MSTEdges) != len(want) {
+			t.Fatalf("MST has %d edges, oracle %d", len(res.MSTEdges), len(want))
+		}
+		for i := range want {
+			if res.MSTEdges[i] != want[i] {
+				e, o := g.Edge(res.MSTEdges[i]), g.Edge(want[i])
+				t.Fatalf("MST edge %d = (%d,%d,w=%d), oracle (%d,%d,w=%d)",
+					i, e.U, e.V, e.W, o.U, o.V, o.W)
+			}
+		}
+		if res.Weight != g.TotalWeight(want) {
+			t.Fatalf("weight %d, oracle %d", res.Weight, g.TotalWeight(want))
+		}
+	})
+}

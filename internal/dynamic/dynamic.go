@@ -1,0 +1,562 @@
+// Package dynamic is the incremental MST layer: it takes a computed
+// tree (or forest) plus a stream of edge inserts and deletes and
+// repairs the tree instead of recomputing it from scratch.
+//
+// The repair rules are the classical ones. An insert {u, v, w} closes
+// exactly one cycle with the tree path u..v; if the new edge is lighter
+// than the maximum-weight edge on that path (under the same strict
+// lexicographic order (w, u, v) the whole repo uses for tie-breaking),
+// they swap — otherwise the tree is untouched. A delete of a non-tree
+// edge changes nothing; a delete of a tree edge cuts its component in
+// two, and the minimum-weight live edge crossing the cut (found by
+// scanning the adjacency of the smaller side) is the unique
+// replacement, or the component stays split and the structure becomes a
+// forest. Both rules preserve the invariant that the maintained tree is
+// the unique minimum spanning forest of the live edge set, which is
+// exactly what the differential oracle in oracle_test.go checks against
+// a from-scratch recompute after every operation.
+//
+// Memory discipline follows the lean layouts of the rest of the repo:
+// edges live in one flat slice addressed by stable int32 ids (dead
+// edges are tombstoned, not compacted, so base-graph edge indices stay
+// meaningful for result remapping), adjacency is per-vertex []arc
+// seeded from the base graph's CSR, and all traversal scratch (visited
+// epochs, parent edges, BFS queue) is allocated once per Session and
+// reused across operations.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"congestmst/internal/graph"
+)
+
+// Stats counts the work one Apply batch performed. All counters are
+// per-batch; Session.TotalStats accumulates them over the session.
+type Stats struct {
+	// Ops = Inserts + Deletes, the batch size.
+	Ops, Inserts, Deletes int
+	// Joins counts inserts that connected two components.
+	Joins int
+	// Swaps counts inserts that displaced a heavier tree-path edge.
+	Swaps int
+	// NonTreeInserts counts inserts that left the tree unchanged.
+	NonTreeInserts int
+	// Replacements counts tree-edge deletes repaired by a cut edge.
+	Replacements int
+	// Splits counts tree-edge deletes with no replacement (the
+	// component count grew by one).
+	Splits int
+	// NonTreeDeletes counts deletes of non-tree edges.
+	NonTreeDeletes int
+	// PathArcs counts tree arcs scanned by insert path walks.
+	PathArcs int64
+	// CutArcs counts adjacency arcs scanned by replacement searches.
+	CutArcs int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Ops += o.Ops
+	s.Inserts += o.Inserts
+	s.Deletes += o.Deletes
+	s.Joins += o.Joins
+	s.Swaps += o.Swaps
+	s.NonTreeInserts += o.NonTreeInserts
+	s.Replacements += o.Replacements
+	s.Splits += o.Splits
+	s.NonTreeDeletes += o.NonTreeDeletes
+	s.PathArcs += o.PathArcs
+	s.CutArcs += o.CutArcs
+}
+
+// Delta reports the net tree change of one Apply batch: the edges that
+// entered and left the forest (an edge that did both within the batch
+// cancels out), plus the resulting forest weight and component count.
+// Added and Removed are sorted by the (w, u, v) edge order, so a Delta
+// is deterministic for a given session state and op sequence.
+type Delta struct {
+	Added      []graph.Edge
+	Removed    []graph.Edge
+	Weight     int64
+	Components int
+}
+
+// Unchanged reports whether the batch left the forest untouched.
+func (d Delta) Unchanged() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// sedge is one edge slot. Slots are never reused: dead edges are
+// tombstoned so ids (and therefore base-graph edge indices) stay
+// stable for the life of the session.
+type sedge struct {
+	u, v   int32
+	w      int64
+	alive  bool
+	inTree bool
+}
+
+// arc is one directed half of a live edge in the dynamic adjacency.
+type arc struct {
+	to int32
+	id int32
+}
+
+// Session maintains the minimum spanning forest of an evolving edge
+// set. Create one with NewSession from a computed MST (any engine's
+// output, or a Kruskal forest) and feed it batches of EdgeOps via
+// Apply. A Session is not safe for concurrent use.
+type Session struct {
+	n     int
+	baseM int
+	edges []sedge
+	byKey map[uint64]int32
+	adj   [][]arc
+
+	weight     int64
+	treeCount  int
+	components int
+
+	total Stats
+
+	// Traversal scratch, allocated once and reused. Epochs are int64:
+	// a delete keeps two epochs live at once (one per side of the
+	// cut), so a wrapping reset could wipe stamps still in use — and
+	// at one epoch per operation, 2^63 is simply unreachable.
+	visited    []int64
+	parentEdge []int32
+	queue      []int32
+	epoch      int64
+}
+
+func packKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// NewSession starts an incremental session over g's edge set with tree
+// (edge indices into g.Edges()) as the starting forest. The tree must
+// be acyclic; it is the caller's responsibility that it is the minimum
+// spanning forest of g (any verified engine result or g.MSF() is), as
+// every repair assumes and preserves that invariant.
+func NewSession(g *graph.Graph, tree []int) (*Session, error) {
+	n, m := g.N(), g.M()
+	if int64(n) >= math.MaxInt32 || int64(m) >= math.MaxInt32 {
+		return nil, fmt.Errorf("dynamic: graph too large for int32 ids (n=%d, m=%d)", n, m)
+	}
+	s := &Session{
+		n:          n,
+		baseM:      m,
+		edges:      make([]sedge, m, m+16),
+		byKey:      make(map[uint64]int32, m),
+		adj:        make([][]arc, n),
+		visited:    make([]int64, n),
+		parentEdge: make([]int32, n),
+	}
+	for i, e := range g.Edges() {
+		s.edges[i] = sedge{u: int32(e.U), v: int32(e.V), w: e.W, alive: true}
+		s.byKey[packKey(e.U, e.V)] = int32(i)
+	}
+	// Seed the dynamic adjacency from the graph's CSR: one pass over
+	// the flat arc arrays, per-vertex slices sized exactly.
+	csr := g.CSR()
+	for v := 0; v < n; v++ {
+		lo, hi := csr.Off[v], csr.Off[v+1]
+		as := make([]arc, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			as = append(as, arc{to: csr.To[p], id: csr.EdgeIdx[p]})
+		}
+		s.adj[v] = as
+	}
+	// Validate the starting forest: in-range, duplicate-free, acyclic.
+	uf := graph.NewUnionFind(n)
+	for _, ei := range tree {
+		if ei < 0 || ei >= m {
+			return nil, fmt.Errorf("dynamic: tree edge index %d out of range [0,%d)", ei, m)
+		}
+		e := &s.edges[ei]
+		if e.inTree {
+			return nil, fmt.Errorf("dynamic: tree edge index %d listed twice", ei)
+		}
+		if !uf.Union(int(e.u), int(e.v)) {
+			return nil, fmt.Errorf("dynamic: tree edges contain a cycle through (%d,%d)", e.u, e.v)
+		}
+		e.inTree = true
+		s.weight += e.w
+	}
+	s.treeCount = len(tree)
+	s.components = n - len(tree)
+	return s, nil
+}
+
+// N returns the (fixed) vertex count.
+func (s *Session) N() int { return s.n }
+
+// Weight returns the current forest weight.
+func (s *Session) Weight() int64 { return s.weight }
+
+// Components returns the current component count (isolated vertices
+// count as components).
+func (s *Session) Components() int { return s.components }
+
+// TreeSize returns the current forest edge count.
+func (s *Session) TreeSize() int { return s.treeCount }
+
+// LiveEdges returns the current edge set in canonical order: base-graph
+// edges first (in their original order, deletions omitted), then
+// inserted edges in application order. This is the edge order a
+// materialized patched graph uses, so digests derived from it are
+// deterministic.
+func (s *Session) LiveEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(s.byKey))
+	for _, e := range s.edges {
+		if e.alive {
+			out = append(out, graph.Edge{U: int(e.u), V: int(e.v), W: e.w})
+		}
+	}
+	return out
+}
+
+// TreeEdges returns the current forest in the same canonical order as
+// LiveEdges.
+func (s *Session) TreeEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, s.treeCount)
+	for _, e := range s.edges {
+		if e.alive && e.inTree {
+			out = append(out, graph.Edge{U: int(e.u), V: int(e.v), W: e.w})
+		}
+	}
+	return out
+}
+
+// TreeLiveIndices returns the current forest as indices into the
+// LiveEdges (and therefore Materialize) edge order: the minimum
+// spanning forest of the materialized graph, available without
+// recomputing it. A service storing patched graphs seeds their forest
+// from this, so a chain of patches never pays a from-scratch Kruskal.
+func (s *Session) TreeLiveIndices() []int {
+	out := make([]int, 0, s.treeCount)
+	live := 0
+	for _, e := range s.edges {
+		if !e.alive {
+			continue
+		}
+		if e.inTree {
+			out = append(out, live)
+		}
+		live++
+	}
+	return out
+}
+
+// TotalStats returns the work counters accumulated over every Apply of
+// the session.
+func (s *Session) TotalStats() Stats { return s.total }
+
+// Materialize builds the current edge set into an immutable Graph (in
+// LiveEdges order) and returns, for each base-graph edge index, its
+// index in the new graph, or -1 if deleted. Inserted edges occupy the
+// indices past the surviving base edges.
+func (s *Session) Materialize() (*graph.Graph, []int, error) {
+	remap := make([]int, s.baseM)
+	next := 0
+	edges := make([]graph.Edge, 0, len(s.byKey))
+	for i, e := range s.edges {
+		if !e.alive {
+			if i < s.baseM {
+				remap[i] = -1
+			}
+			continue
+		}
+		if i < s.baseM {
+			remap[i] = next
+		}
+		edges = append(edges, graph.Edge{U: int(e.u), V: int(e.v), W: e.w})
+		next++
+	}
+	g, err := graph.FromEdges(s.n, edges)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dynamic: materialize: %w", err)
+	}
+	return g, remap, nil
+}
+
+// Apply runs one batch of edge updates through the repair rules and
+// returns the net tree Delta plus the batch's work Stats. Ops apply in
+// order and are not atomic as a batch: on an invalid op (insert of an
+// existing edge or self-loop, delete of a missing edge, out-of-range
+// endpoint) Apply stops and returns an error, with the session — and
+// the returned Delta — reflecting exactly the ops that preceded it.
+func (s *Session) Apply(ops []EdgeOp) (Delta, Stats, error) {
+	var st Stats
+	acc := make(map[int32]int8, len(ops))
+	var opErr error
+	for i, op := range ops {
+		var err error
+		switch op.Kind {
+		case Insert:
+			err = s.insert(op, acc, &st)
+		case Delete:
+			err = s.delete(op, acc, &st)
+		default:
+			err = fmt.Errorf("unknown op kind %v", op.Kind)
+		}
+		if err != nil {
+			opErr = fmt.Errorf("dynamic: op %d %s: %w", i, op, err)
+			break
+		}
+		st.Ops++
+	}
+	d := s.buildDelta(acc)
+	s.total.add(st)
+	return d, st, opErr
+}
+
+// buildDelta compacts the per-edge net tree movements of a batch into
+// sorted Added/Removed lists.
+func (s *Session) buildDelta(acc map[int32]int8) Delta {
+	d := Delta{Weight: s.weight, Components: s.components}
+	for id, net := range acc {
+		e := s.edges[id]
+		ge := graph.Edge{U: int(e.u), V: int(e.v), W: e.w}
+		switch {
+		case net > 0:
+			d.Added = append(d.Added, ge)
+		case net < 0:
+			d.Removed = append(d.Removed, ge)
+		}
+	}
+	byKey := func(es []graph.Edge) func(i, j int) bool {
+		return func(i, j int) bool {
+			a, b := es[i], es[j]
+			return graph.KeyLess(a.W, a.U, a.V, b.W, b.U, b.V)
+		}
+	}
+	sort.Slice(d.Added, byKey(d.Added))
+	sort.Slice(d.Removed, byKey(d.Removed))
+	return d
+}
+
+func mark(acc map[int32]int8, id int32, delta int8) {
+	if net := acc[id] + delta; net == 0 {
+		delete(acc, id)
+	} else {
+		acc[id] = net
+	}
+}
+
+func (s *Session) checkEndpoints(u, v int) error {
+	if u < 0 || u >= s.n || v < 0 || v >= s.n {
+		return fmt.Errorf("endpoint out of range [0,%d)", s.n)
+	}
+	if u == v {
+		return fmt.Errorf("self-loop at vertex %d", u)
+	}
+	return nil
+}
+
+// nextEpoch advances the visited stamp.
+func (s *Session) nextEpoch() int64 {
+	s.epoch++
+	return s.epoch
+}
+
+// insert applies one Insert op: connect two components, displace the
+// heaviest tree-path edge, or leave the tree unchanged.
+func (s *Session) insert(op EdgeOp, acc map[int32]int8, st *Stats) error {
+	if err := s.checkEndpoints(op.U, op.V); err != nil {
+		return err
+	}
+	key := packKey(op.U, op.V)
+	if _, exists := s.byKey[key]; exists {
+		return fmt.Errorf("edge already present")
+	}
+	u, v := op.U, op.V
+	if u > v {
+		u, v = v, u
+	}
+	id := int32(len(s.edges))
+	s.edges = append(s.edges, sedge{u: int32(u), v: int32(v), w: op.W, alive: true})
+	s.byKey[key] = id
+	s.adj[u] = append(s.adj[u], arc{to: int32(v), id: id})
+	s.adj[v] = append(s.adj[v], arc{to: int32(u), id: id})
+	st.Inserts++
+
+	maxID, connected := s.treePathMax(u, v, st)
+	if !connected {
+		s.edges[id].inTree = true
+		s.weight += op.W
+		s.treeCount++
+		s.components--
+		st.Joins++
+		mark(acc, id, +1)
+		return nil
+	}
+	m := &s.edges[maxID]
+	// The cycle rule: the new edge enters iff it is lighter (under the
+	// strict (w, u, v) order) than the heaviest tree edge on the u..v
+	// path, which then leaves.
+	if graph.KeyLess(op.W, u, v, m.w, int(m.u), int(m.v)) {
+		m.inTree = false
+		s.weight -= m.w
+		mark(acc, maxID, -1)
+		s.edges[id].inTree = true
+		s.weight += op.W
+		mark(acc, id, +1)
+		st.Swaps++
+	} else {
+		st.NonTreeInserts++
+	}
+	return nil
+}
+
+// treePathMax finds the maximum-weight edge on the tree path u..v via a
+// BFS over tree arcs, or reports the endpoints disconnected.
+func (s *Session) treePathMax(u, v int, st *Stats) (maxID int32, connected bool) {
+	epoch := s.nextEpoch()
+	s.visited[u] = epoch
+	s.parentEdge[u] = -1
+	s.queue = append(s.queue[:0], int32(u))
+	found := false
+	for qi := 0; qi < len(s.queue) && !found; qi++ {
+		x := s.queue[qi]
+		for _, a := range s.adj[x] {
+			if !s.edges[a.id].inTree {
+				continue
+			}
+			st.PathArcs++
+			if s.visited[a.to] == epoch {
+				continue
+			}
+			s.visited[a.to] = epoch
+			s.parentEdge[a.to] = a.id
+			if int(a.to) == v {
+				found = true
+				break
+			}
+			s.queue = append(s.queue, a.to)
+		}
+	}
+	if !found {
+		return -1, false
+	}
+	// Walk v back to u, tracking the heaviest edge on the path.
+	x := int32(v)
+	maxID = -1
+	for x != int32(u) {
+		eid := s.parentEdge[x]
+		e := &s.edges[eid]
+		if maxID < 0 {
+			maxID = eid
+		} else if m := &s.edges[maxID]; graph.KeyLess(m.w, int(m.u), int(m.v), e.w, int(e.u), int(e.v)) {
+			maxID = eid
+		}
+		if e.u == x {
+			x = e.v
+		} else {
+			x = e.u
+		}
+	}
+	return maxID, true
+}
+
+// delete applies one Delete op: drop a non-tree edge silently, or cut a
+// tree edge and search the smaller side of the cut for the minimum
+// replacement.
+func (s *Session) delete(op EdgeOp, acc map[int32]int8, st *Stats) error {
+	if err := s.checkEndpoints(op.U, op.V); err != nil {
+		return err
+	}
+	key := packKey(op.U, op.V)
+	id, exists := s.byKey[key]
+	if !exists {
+		return fmt.Errorf("edge not present")
+	}
+	e := &s.edges[id]
+	u, v := int(e.u), int(e.v)
+	delete(s.byKey, key)
+	e.alive = false
+	s.removeArc(u, id)
+	s.removeArc(v, id)
+	st.Deletes++
+	if !e.inTree {
+		st.NonTreeDeletes++
+		return nil
+	}
+	e.inTree = false
+	s.weight -= e.w
+	s.treeCount--
+	mark(acc, id, -1)
+
+	// The cut is between u's and v's tree components (the edge is
+	// already gone from the adjacency). Collect both sides and scan the
+	// smaller one's arcs: because the forest spans every live
+	// component, any live edge leaving the side crosses exactly this
+	// cut.
+	uEpoch, uSize := s.collectSide(u)
+	uVerts := append([]int32(nil), s.queue[:uSize]...)
+	_, vSize := s.collectSide(v)
+	side, sideEpoch := uVerts, uEpoch
+	if vSize < uSize {
+		side, sideEpoch = s.queue[:vSize], s.epoch
+	}
+	best := int32(-1)
+	for _, x := range side {
+		for _, a := range s.adj[x] {
+			st.CutArcs++
+			if s.visited[a.to] == sideEpoch {
+				continue // internal to the side (covers all tree arcs)
+			}
+			c := &s.edges[a.id]
+			if best < 0 {
+				best = a.id
+			} else if b := &s.edges[best]; graph.KeyLess(c.w, int(c.u), int(c.v), b.w, int(b.u), int(b.v)) {
+				best = a.id
+			}
+		}
+	}
+	if best < 0 {
+		s.components++
+		st.Splits++
+		return nil
+	}
+	r := &s.edges[best]
+	r.inTree = true
+	s.weight += r.w
+	s.treeCount++
+	st.Replacements++
+	mark(acc, best, +1)
+	return nil
+}
+
+// collectSide BFS-collects the tree component of root into s.queue and
+// stamps it with a fresh epoch, returning that epoch and the size.
+func (s *Session) collectSide(root int) (int64, int) {
+	epoch := s.nextEpoch()
+	s.visited[root] = epoch
+	s.queue = append(s.queue[:0], int32(root))
+	for qi := 0; qi < len(s.queue); qi++ {
+		x := s.queue[qi]
+		for _, a := range s.adj[x] {
+			if s.edges[a.id].inTree && s.visited[a.to] != epoch {
+				s.visited[a.to] = epoch
+				s.queue = append(s.queue, a.to)
+			}
+		}
+	}
+	return epoch, len(s.queue)
+}
+
+// removeArc swap-removes the arc behind edge id from v's adjacency.
+func (s *Session) removeArc(v int, id int32) {
+	as := s.adj[v]
+	for i, a := range as {
+		if a.id == id {
+			as[i] = as[len(as)-1]
+			s.adj[v] = as[:len(as)-1]
+			return
+		}
+	}
+}

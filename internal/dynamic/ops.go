@@ -1,0 +1,124 @@
+package dynamic
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OpKind distinguishes the two edge operations of an update stream.
+type OpKind uint8
+
+const (
+	// Insert adds one edge {U, V} with weight W.
+	Insert OpKind = iota + 1
+	// Delete removes the edge {U, V}; weight is not part of an edge's
+	// identity, so Delete carries none.
+	Delete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// EdgeOp is one edge update. The NDJSON form (one object per line,
+// shared by `mstrun -updates` and PATCH /graphs/{digest}) is
+//
+//	{"op":"insert","u":0,"v":5,"w":17}
+//	{"op":"delete","u":0,"v":5}
+//
+// with w defaulting to 1 on insert, matching the graph-upload format.
+type EdgeOp struct {
+	Kind OpKind
+	U, V int
+	W    int64 // Insert only
+}
+
+func (op EdgeOp) String() string {
+	if op.Kind == Insert {
+		return fmt.Sprintf("insert(%d,%d,w=%d)", op.U, op.V, op.W)
+	}
+	return fmt.Sprintf("%s(%d,%d)", op.Kind, op.U, op.V)
+}
+
+// opLine is the NDJSON wire form of one EdgeOp.
+type opLine struct {
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+	W  *int64 `json:"w,omitempty"`
+}
+
+// MarshalJSON writes the NDJSON object form.
+func (op EdgeOp) MarshalJSON() ([]byte, error) {
+	l := opLine{Op: op.Kind.String(), U: op.U, V: op.V}
+	if op.Kind == Insert {
+		w := op.W
+		l.W = &w
+	}
+	return json.Marshal(l)
+}
+
+// UnmarshalJSON reads the NDJSON object form.
+func (op *EdgeOp) UnmarshalJSON(data []byte) error {
+	var l opLine
+	if err := json.Unmarshal(data, &l); err != nil {
+		return err
+	}
+	switch strings.ToLower(strings.TrimSpace(l.Op)) {
+	case "insert":
+		op.Kind = Insert
+		op.W = 1
+		if l.W != nil {
+			op.W = *l.W
+		}
+	case "delete":
+		op.Kind = Delete
+		op.W = 0
+	default:
+		return fmt.Errorf("dynamic: unknown op %q (valid: insert, delete)", l.Op)
+	}
+	op.U, op.V = l.U, l.V
+	return nil
+}
+
+// ParseOps reads an NDJSON op stream: one EdgeOp object per line, blank
+// lines skipped. maxOps > 0 bounds the stream (an oversized body must
+// fail before an unbounded slice is built); maxOps <= 0 means no bound.
+func ParseOps(r io.Reader, maxOps int) ([]EdgeOp, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var ops []EdgeOp
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var op EdgeOp
+		if err := json.Unmarshal([]byte(text), &op); err != nil {
+			return nil, fmt.Errorf("line %d: op %q: %w", line, text, err)
+		}
+		if maxOps > 0 && len(ops) >= maxOps {
+			return nil, fmt.Errorf("line %d: op count exceeds the limit of %d", line, maxOps)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading ops: %w", err)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty op stream: each line must be {\"op\":\"insert\"|\"delete\",\"u\":..,\"v\":..}")
+	}
+	return ops, nil
+}

@@ -1,0 +1,303 @@
+// The differential oracle harness: randomized, seeded op sequences are
+// applied both to an incremental Session and to a from-scratch Kruskal
+// recompute over an independently maintained mirror of the live edge
+// set, with weight- and forest-equality asserted after every single op.
+// A failing sequence is shrunk (greedy one-op removal to a fixpoint)
+// before being reported, so a regression prints a minimal reproducer
+// with its seed instead of a 30-op haystack.
+//
+// This file is an external test package so the engine-starting-tree
+// matrix can import the congestmst facade (which itself imports
+// internal/dynamic): the oracle runs not just from Kruskal forests but
+// from the actual MST output of all three engines.
+package dynamic_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"congestmst"
+	"congestmst/internal/dynamic"
+	"congestmst/internal/graph"
+)
+
+// mirror is the oracle's independent view of the live edge set. It
+// shares no state with the Session: inserts append, deletes remove by
+// endpoint key, and every check materializes a fresh Graph for a
+// from-scratch MSF recompute.
+type mirror struct {
+	n     int
+	edges []graph.Edge
+	keys  map[uint64]int // packed (u,v) → index into edges
+}
+
+func newMirror(g *graph.Graph) *mirror {
+	m := &mirror{n: g.N(), keys: make(map[uint64]int, g.M())}
+	m.edges = append(m.edges, g.Edges()...)
+	for i, e := range m.edges {
+		m.keys[mirrorKey(e.U, e.V)] = i
+	}
+	return m
+}
+
+func mirrorKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// apply plays one op into the mirror; invalid ops report false so
+// callers (the generator retries, the shrinker skips) can tell.
+func (m *mirror) apply(op dynamic.EdgeOp) bool {
+	if op.U < 0 || op.U >= m.n || op.V < 0 || op.V >= m.n || op.U == op.V {
+		return false
+	}
+	key := mirrorKey(op.U, op.V)
+	i, exists := m.keys[key]
+	switch op.Kind {
+	case dynamic.Insert:
+		if exists {
+			return false
+		}
+		u, v := op.U, op.V
+		if u > v {
+			u, v = v, u
+		}
+		m.keys[key] = len(m.edges)
+		m.edges = append(m.edges, graph.Edge{U: u, V: v, W: op.W})
+		return true
+	case dynamic.Delete:
+		if !exists {
+			return false
+		}
+		last := len(m.edges) - 1
+		moved := m.edges[last]
+		m.edges[i] = moved
+		m.edges = m.edges[:last]
+		delete(m.keys, key)
+		if i != last {
+			m.keys[mirrorKey(moved.U, moved.V)] = i
+		}
+		return true
+	}
+	return false
+}
+
+// msf recomputes the minimum spanning forest of the mirror from
+// scratch and returns its edges keyed by (u,v) plus the total weight.
+func (m *mirror) msf(t *testing.T) (map[uint64]graph.Edge, int64, int) {
+	t.Helper()
+	edges := append([]graph.Edge(nil), m.edges...)
+	g, err := graph.FromEdges(m.n, edges)
+	if err != nil {
+		t.Fatalf("oracle mirror produced an invalid graph: %v", err)
+	}
+	forest := g.MSF()
+	set := make(map[uint64]graph.Edge, len(forest))
+	var weight int64
+	for _, ei := range forest {
+		e := g.Edge(ei)
+		set[mirrorKey(e.U, e.V)] = e
+		weight += e.W
+	}
+	return set, weight, len(forest)
+}
+
+// checkAgainstOracle compares the session's forest against the
+// from-scratch recompute; a non-empty return describes the divergence.
+func checkAgainstOracle(t *testing.T, s *dynamic.Session, m *mirror) string {
+	t.Helper()
+	want, wantWeight, wantSize := m.msf(t)
+	if s.Weight() != wantWeight {
+		return fmt.Sprintf("weight %d, oracle %d", s.Weight(), wantWeight)
+	}
+	if s.TreeSize() != wantSize {
+		return fmt.Sprintf("forest size %d, oracle %d", s.TreeSize(), wantSize)
+	}
+	if got := m.n - wantSize; s.Components() != got {
+		return fmt.Sprintf("components %d, oracle %d", s.Components(), got)
+	}
+	for _, e := range s.TreeEdges() {
+		o, ok := want[mirrorKey(e.U, e.V)]
+		if !ok {
+			return fmt.Sprintf("tree edge (%d,%d,w=%d) not in the oracle forest", e.U, e.V, e.W)
+		}
+		if o.W != e.W {
+			return fmt.Sprintf("tree edge (%d,%d) weight %d, oracle %d", e.U, e.V, e.W, o.W)
+		}
+	}
+	return ""
+}
+
+// genOps draws a seeded op sequence against the current mirror state:
+// a mix of inserts (with small weights, so ties are the common case,
+// stressing the lexicographic order) and deletes of random live edges
+// — tree and non-tree alike.
+func genOps(rng *rand.Rand, m *mirror, count int) []dynamic.EdgeOp {
+	ops := make([]dynamic.EdgeOp, 0, count)
+	for len(ops) < count {
+		op := dynamic.EdgeOp{Kind: dynamic.Delete}
+		if len(m.edges) == 0 || rng.IntN(100) < 55 {
+			op = dynamic.EdgeOp{
+				Kind: dynamic.Insert,
+				U:    rng.IntN(m.n),
+				V:    rng.IntN(m.n),
+				W:    1 + rng.Int64N(16),
+			}
+		} else {
+			e := m.edges[rng.IntN(len(m.edges))]
+			op.U, op.V = e.U, e.V
+		}
+		if m.apply(op) {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// replayFails re-runs one full sequence (fresh session from startTree,
+// fresh mirror) and reports the index of the first op after which the
+// session diverges from the oracle, or -1. Ops the mirror rejects as
+// invalid (possible after shrinking removed a dependency) abort the
+// replay as non-failing.
+func replayFails(t *testing.T, g *graph.Graph, startTree []int, ops []dynamic.EdgeOp) (int, string) {
+	t.Helper()
+	s, err := dynamic.NewSession(g, startTree)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	m := newMirror(g)
+	for i, op := range ops {
+		if !m.apply(op) {
+			return -1, ""
+		}
+		if _, _, err := s.Apply([]dynamic.EdgeOp{op}); err != nil {
+			return -1, ""
+		}
+		if diff := checkAgainstOracle(t, s, m); diff != "" {
+			return i, diff
+		}
+	}
+	return -1, ""
+}
+
+// shrinkOps greedily removes ops while the sequence still diverges,
+// to a fixpoint, and returns the minimal failing sequence.
+func shrinkOps(t *testing.T, g *graph.Graph, startTree []int, ops []dynamic.EdgeOp) []dynamic.EdgeOp {
+	t.Helper()
+	// First truncate to the failing prefix.
+	if at, _ := replayFails(t, g, startTree, ops); at >= 0 {
+		ops = ops[:at+1]
+	}
+	for {
+		removed := false
+		for i := len(ops) - 1; i >= 0; i-- {
+			cand := append(append([]dynamic.EdgeOp(nil), ops[:i]...), ops[i+1:]...)
+			if at, _ := replayFails(t, g, startTree, cand); at >= 0 {
+				ops = cand[:at+1]
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return ops
+		}
+	}
+}
+
+func formatOps(ops []dynamic.EdgeOp) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// runOracleSequence drives one seeded sequence: ops are generated
+// against the mirror, applied to the session one at a time, and the
+// forest is compared to the from-scratch recompute after every op. On
+// divergence it shrinks and fails with the minimal reproducer.
+func runOracleSequence(t *testing.T, g *graph.Graph, startTree []int, seed uint64, opCount int) {
+	t.Helper()
+	s, err := dynamic.NewSession(g, startTree)
+	if err != nil {
+		t.Fatalf("seed %d: NewSession: %v", seed, err)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x6d737464796e616d))
+	m := newMirror(g)
+	var applied []dynamic.EdgeOp
+	for len(applied) < opCount {
+		ops := genOps(rng, m, 1)
+		applied = append(applied, ops...)
+		if _, _, err := s.Apply(ops); err != nil {
+			t.Fatalf("seed %d: Apply(%s): %v", seed, formatOps(ops), err)
+		}
+		if diff := checkAgainstOracle(t, s, m); diff != "" {
+			minimal := shrinkOps(t, g, startTree, applied)
+			_, minDiff := replayFails(t, g, startTree, minimal)
+			t.Fatalf("seed %d diverged (%s) after %d ops; minimal reproducer (%d ops): %s (%s)",
+				seed, diff, len(applied), len(minimal), formatOps(minimal), minDiff)
+		}
+	}
+}
+
+// oracleGraph builds the base graph for one sequence, cycling sizes
+// and weight modes (distinct, random, unit — the last two force heavy
+// tie-breaking) by seed.
+func oracleGraph(t *testing.T, seed uint64) *graph.Graph {
+	t.Helper()
+	ns := []int{8, 16, 32, 48}
+	n := ns[seed%uint64(len(ns))]
+	m := n + int(seed%uint64(2*n))
+	mode := []graph.WeightMode{graph.WeightsDistinct, graph.WeightsRandom, graph.WeightsUnit}[seed%3]
+	g, err := graph.RandomConnected(n, m, graph.GenOptions{Seed: seed, Weights: mode})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return g
+}
+
+// TestOracleRandomOps is the acceptance harness: 1,000 seeded random
+// op sequences (~24 ops each, inserts and deletes, tie-heavy weights)
+// against from-scratch recompute, with forest equality checked after
+// every op.
+func TestOracleRandomOps(t *testing.T) {
+	const sequences = 1000
+	const opsPerSeq = 24
+	for seed := uint64(1); seed <= sequences; seed++ {
+		g := oracleGraph(t, seed)
+		runOracleSequence(t, g, g.MSF(), seed, opsPerSeq)
+	}
+}
+
+// TestOracleEngineStartingTrees re-runs the oracle with each engine's
+// actual MST output as the starting tree: the incremental layer must
+// agree with the recompute no matter which engine produced the tree it
+// repairs.
+func TestOracleEngineStartingTrees(t *testing.T) {
+	engines := []congestmst.Options{
+		{Engine: congestmst.Lockstep},
+		{Engine: congestmst.Parallel, Workers: 3},
+		{Engine: congestmst.Cluster, Shards: 3},
+	}
+	for _, mode := range []congestmst.WeightMode{congestmst.WeightsDistinct, congestmst.WeightsUnit} {
+		g, err := graph.RandomConnected(64, 192, graph.GenOptions{Seed: 17, Weights: graph.WeightMode(mode)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range engines {
+			t.Run(fmt.Sprintf("weights-%d/%s", mode, opts.Engine), func(t *testing.T) {
+				res, err := congestmst.Run(g, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", opts.Engine, err)
+				}
+				for seed := uint64(100); seed < 104; seed++ {
+					runOracleSequence(t, g, res.MSTEdges, seed, 24)
+				}
+			})
+		}
+	}
+}

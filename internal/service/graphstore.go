@@ -9,15 +9,35 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"congestmst"
 )
 
-// storedGraph is one uploaded (or generated) graph, addressed by the
-// digest of its canonical edge list.
+// storedGraph is one uploaded (or patched) graph, addressed by the
+// digest of its canonical edge list (uploads) or of (base digest × op
+// log) (patches).
 type storedGraph struct {
 	digest string
 	g      *congestmst.Graph
+
+	// msf is the graph's minimum spanning forest, the starting tree of
+	// every PATCH repair: seeded at construction when the producer
+	// already knows it (a patch session does), otherwise computed once
+	// on first demand — never once per request.
+	msfOnce sync.Once
+	msf     []int
+}
+
+// forest returns the graph's MSF edge indices, computing them at most
+// once for the life of the stored graph.
+func (sg *storedGraph) forest() []int {
+	sg.msfOnce.Do(func() {
+		if sg.msf == nil {
+			sg.msf = sg.g.MSF()
+		}
+	})
+	return sg.msf
 }
 
 // graphStore holds uploaded graphs behind an LRU bound: a long-lived

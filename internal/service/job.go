@@ -52,6 +52,12 @@ type JobResult struct {
 	BoruvkaPhases int     `json:"boruvka_phases,omitempty"`
 	ElapsedMillis float64 `json:"elapsed_ms"`
 	MSTEdges      []int   `json:"mst_edges,omitempty"`
+	// Repaired marks a result transferred by the delta-aware cache: a
+	// PATCH whose incremental repair left the MST unchanged carried the
+	// base graph's cache line over to the patched digest. Weight and
+	// edges are exact for the patched graph; Rounds/Messages/elapsed
+	// are those of the base run (no engine executed on the patch).
+	Repaired bool `json:"repaired,omitempty"`
 }
 
 // JobView is the API representation of a job, safe to marshal at any

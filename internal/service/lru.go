@@ -77,6 +77,19 @@ func (l *lru[K, V]) len() int {
 	return len(l.ents)
 }
 
+// keys snapshots the current key set (front-to-back, most recently
+// used first). Used by the delta-aware cache transfer to find every
+// line keyed on a base graph digest.
+func (l *lru[K, V]) keys() []K {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]K, 0, len(l.ents))
+	for e := l.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
 // counters reports lifetime hits and misses.
 func (l *lru[K, V]) counters() (hits, misses int64) {
 	l.mu.Lock()

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"net/http"
+
+	"congestmst"
+)
+
+// patchEdge is one tree-delta edge in a PATCH response.
+type patchEdge struct {
+	U int   `json:"u"`
+	V int   `json:"v"`
+	W int64 `json:"w"`
+}
+
+// patchStats is the repair-work report of a PATCH response.
+type patchStats struct {
+	Ops          int   `json:"ops"`
+	Joins        int   `json:"joins,omitempty"`
+	Swaps        int   `json:"swaps,omitempty"`
+	Replacements int   `json:"replacements,omitempty"`
+	Splits       int   `json:"splits,omitempty"`
+	PathArcs     int64 `json:"path_arcs,omitempty"`
+	CutArcs      int64 `json:"cut_arcs,omitempty"`
+}
+
+// patchResponse is the body of a successful PATCH /graphs/{digest}.
+type patchResponse struct {
+	// Graph is the derived digest of the patched graph, computed from
+	// (base digest × op log) — submit jobs against it.
+	Graph string `json:"graph"`
+	Base  string `json:"base"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	// Weight/Components/TreeChanged/Added/Removed describe the
+	// incremental repair of the base MST under the op log.
+	Weight      int64       `json:"weight"`
+	Components  int         `json:"components"`
+	TreeChanged bool        `json:"tree_changed"`
+	Added       []patchEdge `json:"added,omitempty"`
+	Removed     []patchEdge `json:"removed,omitempty"`
+	Stats       patchStats  `json:"stats"`
+	// CacheTransferred counts result-cache lines carried from the base
+	// digest to the derived digest (only when the repair left the tree
+	// unchanged; see JobResult.Repaired).
+	CacheTransferred int `json:"cache_transferred"`
+}
+
+// digestPatched derives the content address of a patched graph from
+// the base digest and the canonical op log. The op path is part of the
+// identity: the same final edge set reached through different op logs
+// (or through a direct upload) gets a different digest, which keeps
+// derivation cheap — no canonical re-sort of a multi-million-edge
+// list — at the cost of a possible duplicate store entry.
+func digestPatched(base string, ops []congestmst.EdgeOp) string {
+	h := sha256.New()
+	h.Write([]byte(base))
+	var buf [25]byte
+	for _, op := range ops {
+		buf[0] = byte(op.Kind)
+		binary.LittleEndian.PutUint64(buf[1:9], uint64(op.U))
+		binary.LittleEndian.PutUint64(buf[9:17], uint64(op.V))
+		binary.LittleEndian.PutUint64(buf[17:25], uint64(op.W))
+		h.Write(buf[:])
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// handlePatchGraph is the delta path: PATCH /graphs/{digest} with an
+// NDJSON op body repairs the base graph's MST incrementally (no engine
+// run), stores the patched graph under a digest derived from (base
+// digest × op log), and — when the repair left the tree unchanged —
+// carries every cached result keyed on the base digest over to the
+// patched digest, so a subsequent POST /jobs on the patch is a cache
+// hit that skips the engine entirely. A weight-changing op log
+// transfers nothing: honest Rounds/Messages for the patched graph can
+// only come from an engine run, so those jobs miss and recompute.
+func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.graphs.get(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("digest"))
+		return
+	}
+	body := &errTrackReader{r: http.MaxBytesReader(w, r.Body, s.cfg.maxUploadBytes())}
+	maxOps := int(s.cfg.maxGenEdges())
+	ops, err := congestmst.ParseEdgeOps(body, maxOps)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(body.err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "op stream exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad op stream: %v", err)
+		return
+	}
+
+	// Repair the base MSF under the op log. The session starts from
+	// the stored graph's forest — identical to every engine's
+	// (verified) output, computed at most once per digest — so neither
+	// an engine nor a per-request Kruskal runs on this path.
+	sess, err := congestmst.NewDynamicSession(sg.g, sg.forest())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	delta, stats, err := sess.Apply(ops)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	patched, remap, err := sess.Materialize()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if int64(patched.N()) > s.cfg.maxGenVertices() || int64(patched.M()) > s.cfg.maxGenEdges() {
+		writeErr(w, http.StatusBadRequest, "patched graph too large: %d vertices / %d edges (limits %d / %d)",
+			patched.N(), patched.M(), s.cfg.maxGenVertices(), s.cfg.maxGenEdges())
+		return
+	}
+
+	derived := digestPatched(sg.digest, ops)
+	code := http.StatusCreated
+	if _, ok := s.graphs.get(derived); ok {
+		code = http.StatusOK // idempotent re-patch
+	} else {
+		// The repaired tree IS the patched graph's MSF — seed it so a
+		// patch-of-a-patch never recomputes a forest from scratch.
+		s.graphs.put(&storedGraph{digest: derived, g: patched, msf: sess.TreeLiveIndices()})
+	}
+
+	// Delta-aware cache transfer: an unchanged repair means every base
+	// MST edge survived the patch, so each cached base result answers
+	// the patched graph too — modulo the edge-index remap.
+	transferred := 0
+	if delta.Unchanged() {
+		for _, key := range s.cache.keys() {
+			if key.digest != sg.digest {
+				continue
+			}
+			cached, ok := s.cache.get(key)
+			if !ok {
+				continue
+			}
+			out := *cached
+			out.Repaired = true
+			out.MSTEdges = make([]int, len(cached.MSTEdges))
+			for i, ei := range cached.MSTEdges {
+				out.MSTEdges[i] = remap[ei]
+			}
+			newKey := key
+			newKey.digest = derived
+			s.cache.put(newKey, &out)
+			transferred++
+		}
+		s.cacheTransferred.Add(int64(transferred))
+	}
+	s.patchesApplied.Add(1)
+
+	resp := patchResponse{
+		Graph:       derived,
+		Base:        sg.digest,
+		N:           patched.N(),
+		M:           patched.M(),
+		Weight:      delta.Weight,
+		Components:  delta.Components,
+		TreeChanged: !delta.Unchanged(),
+		Stats: patchStats{
+			Ops:          stats.Ops,
+			Joins:        stats.Joins,
+			Swaps:        stats.Swaps,
+			Replacements: stats.Replacements,
+			Splits:       stats.Splits,
+			PathArcs:     stats.PathArcs,
+			CutArcs:      stats.CutArcs,
+		},
+		CacheTransferred: transferred,
+	}
+	for _, e := range delta.Added {
+		resp.Added = append(resp.Added, patchEdge{U: e.U, V: e.V, W: e.W})
+	}
+	for _, e := range delta.Removed {
+		resp.Removed = append(resp.Removed, patchEdge{U: e.U, V: e.V, W: e.W})
+	}
+	writeJSON(w, code, resp)
+}

@@ -10,6 +10,10 @@
 //
 //	POST   /graphs     NDJSON upload: {"n":N} then {"u":..,"v":..,"w":..} per line → {graph, n, m}
 //	GET    /graphs/{digest}            → {graph, n, m}
+//	PATCH  /graphs/{digest}  NDJSON edge ops ({"op":"insert"|"delete",...} per line)
+//	                                   → patched graph stored under a derived digest,
+//	                                     MST repaired incrementally (no engine run),
+//	                                     unchanged repairs transfer cached results
 //	POST   /jobs       JobRequest      → 200 JobView (cache hit) or 202 JobView (queued)
 //	GET    /jobs       list            → {jobs: [JobView]}
 //	GET    /jobs/{id}  poll            → JobView
@@ -148,6 +152,9 @@ type Server struct {
 	jobsCanceled  atomic.Int64
 	jobsRejected  atomic.Int64
 	cacheServed   atomic.Int64
+
+	patchesApplied   atomic.Int64
+	cacheTransferred atomic.Int64
 }
 
 // New starts a Server (its worker pool runs until Close).
@@ -166,6 +173,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /graphs", s.handleUploadGraph)
 	s.mux.HandleFunc("GET /graphs/{digest}", s.handleGetGraph)
+	s.mux.HandleFunc("PATCH /graphs/{digest}", s.handlePatchGraph)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
@@ -589,5 +597,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":     hits,
 		"cache_misses":   misses,
 		"graphs_stored":  s.graphs.len(),
+
+		"patches_applied":   s.patchesApplied.Load(),
+		"cache_transferred": s.cacheTransferred.Load(),
 	})
 }

@@ -515,6 +515,148 @@ func TestCloseCancelsRunningJobs(t *testing.T) {
 	}
 }
 
+// TestPatchDeltaPath is the delta-path acceptance test: upload →
+// compute → patch. A patch whose repair leaves the MST unchanged must
+// turn the follow-up job into a cache hit (no engine run); a
+// weight-changing patch must miss and recompute.
+func TestPatchDeltaPath(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	var up graphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs", smallNDJSON, &up); code != http.StatusCreated {
+		t.Fatalf("POST /graphs = %d", code)
+	}
+	// Compute the base MST once, populating the cache.
+	var base JobView
+	body := fmt.Sprintf(`{"graph":%q,"algorithm":"elkin","include_edges":true}`, up.Graph)
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body, &base); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	done := pollJob(t, ts.URL, base.ID, 30*time.Second)
+	if done.Status != StatusDone || done.Result.Weight != 6 {
+		t.Fatalf("base job: %+v", done)
+	}
+
+	// Patch 1: a heavy chord (1,3,w=99) joins the cycle but not the
+	// MST — the repair is unchanged, so the cached base result must be
+	// carried over to the derived digest.
+	var p1 map[string]any
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/graphs/"+up.Graph,
+		`{"op":"insert","u":1,"v":3,"w":99}`, &p1); code != http.StatusCreated {
+		t.Fatalf("PATCH = %d (%v)", code, p1)
+	}
+	if p1["tree_changed"] != false || p1["weight"].(float64) != 6 || p1["m"].(float64) != 6 {
+		t.Fatalf("unchanged patch response %+v", p1)
+	}
+	if p1["cache_transferred"].(float64) < 1 {
+		t.Fatalf("no cache line transferred: %+v", p1)
+	}
+	// The job on the patched digest is answered from the cache — 200,
+	// already done, marked repaired, no engine involved.
+	var hit JobView
+	hitBody := fmt.Sprintf(`{"graph":%q,"algorithm":"elkin","include_edges":true}`, p1["graph"])
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", hitBody, &hit); code != http.StatusOK {
+		t.Fatalf("POST /jobs on patched graph = %d, want cache-hit 200 (%+v)", code, hit)
+	}
+	if !hit.Cached || hit.Result == nil || !hit.Result.Repaired || hit.Result.Weight != 6 {
+		t.Fatalf("patched-graph job not a repaired cache hit: %+v", hit)
+	}
+	// The transferred edge indices must point at the patched graph's
+	// MST: remapped, verifiable against a from-scratch recompute.
+	sg, ok := svc.graphs.get(p1["graph"].(string))
+	if !ok {
+		t.Fatal("patched graph not stored")
+	}
+	wantMST, err := sg.g.Kruskal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hit.Result.MSTEdges) != len(wantMST) {
+		t.Fatalf("transferred MST has %d edges, want %d", len(hit.Result.MSTEdges), len(wantMST))
+	}
+	for i := range wantMST {
+		if hit.Result.MSTEdges[i] != wantMST[i] {
+			t.Fatalf("transferred MST edge %d = %d, want %d", i, hit.Result.MSTEdges[i], wantMST[i])
+		}
+	}
+
+	// Patch 2: a light chord (1,3,w=0) displaces (2,3,w=3) — weight
+	// changes, nothing transfers, and the job must miss and recompute.
+	var p2 map[string]any
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/graphs/"+up.Graph,
+		`{"op":"insert","u":1,"v":3,"w":0}`, &p2); code != http.StatusCreated {
+		t.Fatalf("PATCH 2 = %d (%v)", code, p2)
+	}
+	if p2["tree_changed"] != true || p2["weight"].(float64) != 3 {
+		t.Fatalf("weight-changing patch response %+v", p2)
+	}
+	if p2["cache_transferred"].(float64) != 0 {
+		t.Fatalf("weight-changing patch transferred cache lines: %+v", p2)
+	}
+	var miss JobView
+	missBody := fmt.Sprintf(`{"graph":%q,"algorithm":"elkin"}`, p2["graph"])
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", missBody, &miss); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs on weight-changing patch = %d, want queued 202", code)
+	}
+	v := pollJob(t, ts.URL, miss.ID, 30*time.Second)
+	if v.Status != StatusDone || v.Result.Weight != 3 || v.Result.Repaired {
+		t.Fatalf("recomputed patched job: %+v", v)
+	}
+
+	// A delete op repairs across the cut: removing tree edge (1,2,w=2)
+	// pulls in the lightest crossing chord (0,3,w=4) for weight 8.
+	var p3 map[string]any
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/graphs/"+up.Graph,
+		`{"op":"delete","u":1,"v":2}`, &p3); code != http.StatusCreated {
+		t.Fatalf("PATCH 3 = %d (%v)", code, p3)
+	}
+	if p3["tree_changed"] != true || p3["weight"].(float64) != 8 || p3["m"].(float64) != 4 {
+		t.Fatalf("delete patch response %+v", p3)
+	}
+
+	// Idempotent re-patch: same base, same ops → same digest, 200.
+	var again map[string]any
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/graphs/"+up.Graph,
+		`{"op":"insert","u":1,"v":3,"w":99}`, &again); code != http.StatusOK || again["graph"] != p1["graph"] {
+		t.Fatalf("re-patch = %d, %v (want 200 with digest %v)", code, again["graph"], p1["graph"])
+	}
+}
+
+// TestPatchValidation covers the PATCH error surface.
+func TestPatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var up graphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs", smallNDJSON, &up); code != http.StatusCreated {
+		t.Fatalf("POST /graphs = %d", code)
+	}
+	if code := doJSON(t, http.MethodPatch, ts.URL+"/graphs/sha256:dead",
+		`{"op":"delete","u":0,"v":1}`, nil); code != http.StatusNotFound {
+		t.Errorf("PATCH unknown graph = %d, want 404", code)
+	}
+	cases := []struct {
+		name, body, want string
+	}{
+		{"empty", "", "empty op stream"},
+		{"garbage", "nope", "bad op stream"},
+		{"unknown op", `{"op":"upsert","u":0,"v":1}`, "unknown op"},
+		{"delete missing", `{"op":"delete","u":1,"v":3}`, "not present"},
+		{"insert existing", `{"op":"insert","u":0,"v":1,"w":2}`, "already present"},
+		{"self-loop", `{"op":"insert","u":2,"v":2,"w":2}`, "self-loop"},
+		{"out of range", `{"op":"insert","u":0,"v":99,"w":2}`, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out map[string]string
+			code := doJSON(t, http.MethodPatch, ts.URL+"/graphs/"+up.Graph, tc.body, &out)
+			if code != http.StatusBadRequest {
+				t.Fatalf("PATCH = %d, want 400 (%v)", code, out)
+			}
+			if !strings.Contains(out["error"], tc.want) {
+				t.Errorf("error %q missing %q", out["error"], tc.want)
+			}
+		})
+	}
+}
+
 // TestNDJSONRoundTrip pins digest determinism and the unit-weight
 // default directly at the parser.
 func TestNDJSONRoundTrip(t *testing.T) {

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -160,6 +161,109 @@ func TestCheckForestRejectsCrossFragmentEdge(t *testing.T) {
 	parent := []int{-1, 0, 0, 0} // vertex 2's parent port 0 leads to vertex 1: crosses fragments
 	if _, err := CheckForest(g, fragID, parent); err == nil {
 		t.Error("cross-fragment edge accepted")
+	}
+}
+
+// TestCheckMSTDisconnected: the Kruskal comparison requires
+// connectivity, so a forest over a disconnected graph must surface
+// ErrDisconnected rather than silently accepting a spanning forest.
+func TestCheckMSTDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(3, 4, 3)
+	g := b.MustGraph()
+	// Ports of the full (correct) spanning forest: every edge marked at
+	// both endpoints.
+	ports := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		for p := range g.Adj(v) {
+			ports[v] = append(ports[v], p)
+		}
+	}
+	if err := CheckMST(g, ports); !errors.Is(err, graph.ErrDisconnected) {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+	if err := CheckEdges(g, g.MSF()); !errors.Is(err, graph.ErrDisconnected) {
+		t.Errorf("CheckEdges err = %v, want ErrDisconnected", err)
+	}
+}
+
+// TestCheckMSTDegenerateGraphs: the n <= 1 cases where the MST is
+// empty and nothing must error or panic.
+func TestCheckMSTDegenerateGraphs(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := graph.NewBuilder(n).MustGraph()
+		if err := CheckMST(g, make([][]int, n)); err != nil {
+			t.Errorf("n=%d: CheckMST = %v, want nil", n, err)
+		}
+		if err := CheckEdges(g, nil); err != nil {
+			t.Errorf("n=%d: CheckEdges = %v, want nil", n, err)
+		}
+	}
+}
+
+// TestCheckEdgesRejectsCorruptedTree: a spanning tree of the right
+// size that is not the minimum one must be rejected — this is the
+// check Options.Verify: VerifyFull stands on, so it is pinned here
+// rather than trusted.
+func TestCheckEdgesRejectsCorruptedTree(t *testing.T) {
+	g := graph.Ring(8, graph.GenOptions{Seed: 97})
+	mst, err := g.Kruskal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ring's MST drops exactly the heaviest edge; a corrupted tree
+	// drops a lighter one instead — same edge count, still spanning,
+	// wrong weight.
+	inMST := make(map[int]bool, len(mst))
+	for _, ei := range mst {
+		inMST[ei] = true
+	}
+	excluded := -1
+	for ei := 0; ei < g.M(); ei++ {
+		if !inMST[ei] {
+			excluded = ei
+			break
+		}
+	}
+	corrupt := make([]int, 0, len(mst))
+	swapped := false
+	for _, ei := range mst {
+		if !swapped {
+			// Drop this MST edge, keep the excluded one instead.
+			corrupt = append(corrupt, excluded)
+			swapped = true
+			continue
+		}
+		corrupt = append(corrupt, ei)
+	}
+	if err := CheckEdges(g, corrupt); err == nil {
+		t.Error("corrupted spanning tree accepted")
+	} else if !strings.Contains(err.Error(), "not in the MST") {
+		t.Errorf("err = %v, want a not-in-the-MST complaint", err)
+	}
+}
+
+// TestMSTFromPortsRejectsDoubleReport: one vertex reporting the same
+// MST port twice must not impersonate the far endpoint's mark.
+func TestMSTFromPortsRejectsDoubleReport(t *testing.T) {
+	g := graph.Path(3, graph.GenOptions{})
+	ports := portsOfMST(t, g)
+	// Vertex 0 reports its single port twice; vertex 1 drops its mark
+	// of the same edge. Total marks stay 2, but both are from vertex 0.
+	ports[0] = append(ports[0], ports[0][0])
+	kept := ports[1][:0]
+	for _, p := range ports[1] {
+		if g.Adj(1)[p].To != 0 {
+			kept = append(kept, p)
+		}
+	}
+	ports[1] = kept
+	if _, err := MSTFromPorts(g, ports); err == nil {
+		t.Error("double-reported endpoint accepted")
+	} else if !strings.Contains(err.Error(), "twice") {
+		t.Errorf("err = %v, want a reports-twice complaint", err)
 	}
 }
 
