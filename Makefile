@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race fuzz bench-tables bench-cluster serve smoke-serve check
+.PHONY: all build fmt vet test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve check
 
 all: check
 
@@ -42,6 +42,12 @@ bench-tables:
 # `go run ./cmd/mstbench -full -e e12`.
 bench-cluster:
 	$(GO) run ./cmd/mstbench -e e12
+
+# The E13 fiber-vs-goroutine memory race at full scale (10^5 and 10^6
+# vertices, GHS in both execution modes), emitting BENCH_fiber.json.
+# Budget several minutes and ~4 GB of RAM for the goroutine-mode run.
+bench-fiber:
+	$(GO) run ./cmd/mstbench -full -e e13
 
 # The MST job server (HTTP API; see the mstserved section of README.md).
 serve:

@@ -135,3 +135,7 @@ func BenchmarkE10PipelineMessages(b *testing.B) { benchExperiment(b, "e10") }
 // BenchmarkE12ClusterTransport races the TCP cluster engine against
 // the lockstep engine at the quick scale.
 func BenchmarkE12ClusterTransport(b *testing.B) { benchExperiment(b, "e12") }
+
+// BenchmarkE13FiberMemory races the parallel engine's fiber and
+// goroutine modes on GHS at the quick scale.
+func BenchmarkE13FiberMemory(b *testing.B) { benchExperiment(b, "e13") }

@@ -16,6 +16,17 @@ func longRunGraph(t *testing.T) *Graph {
 	return Path(20000, GenOptions{Seed: 5})
 }
 
+// cancelAlg picks the algorithm that exercises the engine's own
+// cancellation path: GHS on the Fiber engine (its resumable form is
+// what fiber-mode teardown must release; anything else would fall
+// back to goroutine mode), Elkin everywhere else.
+func cancelAlg(eng Engine) Algorithm {
+	if eng == Fiber {
+		return GHS
+	}
+	return Elkin
+}
+
 // awaitGoroutineBaseline waits for the goroutine count to settle back
 // to (or below) baseline plus slack: a cancelled engine must unwind
 // every vertex goroutine, worker and socket reader it spawned.
@@ -42,7 +53,7 @@ func awaitGoroutineBaseline(t *testing.T, baseline int) {
 func TestRunContextCancelAllEngines(t *testing.T) {
 	g := longRunGraph(t)
 	g.Connected() // warm the BFS outside the timed window
-	for _, eng := range []Engine{Lockstep, Parallel, Cluster} {
+	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber} {
 		t.Run(eng.String(), func(t *testing.T) {
 			baseline := runtime.NumGoroutine()
 			ctx, cancel := context.WithCancel(context.Background())
@@ -54,7 +65,7 @@ func TestRunContextCancelAllEngines(t *testing.T) {
 			ch := make(chan outcome, 1)
 			start := time.Now()
 			go func() {
-				res, err := RunContext(ctx, g, Options{Engine: eng})
+				res, err := RunContext(ctx, g, Options{Engine: eng, Algorithm: cancelAlg(eng)})
 				ch <- outcome{res, err}
 			}()
 			time.Sleep(100 * time.Millisecond)
@@ -83,12 +94,12 @@ func TestRunContextCancelAllEngines(t *testing.T) {
 func TestRunContextDeadlineAllEngines(t *testing.T) {
 	g := longRunGraph(t)
 	g.Connected()
-	for _, eng := range []Engine{Lockstep, Parallel, Cluster} {
+	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber} {
 		t.Run(eng.String(), func(t *testing.T) {
 			baseline := runtime.NumGoroutine()
 			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 			defer cancel()
-			_, err := RunContext(ctx, g, Options{Engine: eng})
+			_, err := RunContext(ctx, g, Options{Engine: eng, Algorithm: cancelAlg(eng)})
 			if err == nil {
 				t.Fatal("deadlined run reported success")
 			}
@@ -109,8 +120,8 @@ func TestRunContextPreCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, eng := range []Engine{Lockstep, Parallel, Cluster} {
-		if _, err := RunContext(ctx, g, Options{Engine: eng}); !errors.Is(err, context.Canceled) {
+	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber} {
+		if _, err := RunContext(ctx, g, Options{Engine: eng, Algorithm: cancelAlg(eng)}); !errors.Is(err, context.Canceled) {
 			t.Errorf("%v: error %v does not wrap context.Canceled", eng, err)
 		}
 	}

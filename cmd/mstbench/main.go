@@ -24,7 +24,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full-size experiments recorded in EXPERIMENTS.md")
 	only := flag.String("e", "", "comma-separated experiment ids (default: all)")
-	engine := flag.String("engine", "lockstep", "execution engine for the experiments: lockstep | parallel | cluster (e11 and e12 always measure their own pairs)")
+	engine := flag.String("engine", "lockstep", "execution engine for the experiments: lockstep | parallel | cluster | fiber (e11, e12 and e13 always measure their own pairs)")
 	flag.Parse()
 	eng, err := congestmst.ParseEngine(*engine)
 	if err != nil {

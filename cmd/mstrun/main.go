@@ -9,6 +9,7 @@
 //	mstrun -graph cylinder -rows 8 -cols 128 -alg elkin-fixed-k -b 4
 //	mstrun -graph pathmst -n 2048 -alg pipeline -edges
 //	mstrun -graph random -n 1000000 -m 3000000 -alg elkin -engine parallel
+//	mstrun -graph random -n 1000000 -m 3000000 -alg ghs -engine fiber
 //	mstrun -graph grid -rows 64 -cols 64 -alg elkin -engine cluster -shards 4
 //	mstrun -graph random -n 1024 -m 4096 -updates ops.ndjson
 //
@@ -42,8 +43,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		weights   = flag.String("weights", "distinct", "distinct | random | unit")
 		alg       = flag.String("alg", "elkin", "elkin | elkin-fixed-k | ghs | pipeline")
-		engine    = flag.String("engine", "lockstep", "execution engine: lockstep | parallel | cluster")
-		workers   = flag.Int("workers", 0, "parallel engine worker pool size (0 = GOMAXPROCS)")
+		engine    = flag.String("engine", "lockstep", "execution engine: lockstep | parallel | cluster | fiber")
+		workers   = flag.Int("workers", 0, "parallel/fiber engine worker pool size (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "cluster engine shard count (0 = min(4, n)); sockets = shards*(shards-1)/2")
 		bandwidth = flag.Int("b", 1, "CONGEST(b log n) bandwidth")
 		root      = flag.Int("root", 0, "BFS root vertex")

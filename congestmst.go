@@ -72,11 +72,11 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Engine selects which execution engine runs the program. All three
+// Engine selects which execution engine runs the program. All of them
 // enforce the same CONGEST(b log n) model and report bit-identical
 // Rounds, Messages and per-kind statistics; they differ only in how
-// wall-clock time scales with the graph and in what carries the
-// messages.
+// wall-clock time and memory scale with the graph and in what carries
+// the messages.
 type Engine int
 
 const (
@@ -99,6 +99,15 @@ const (
 	// network transport; the socket count is Shards·(Shards-1)/2,
 	// independent of the number of edges.
 	Cluster
+	// Fiber is the parallel engine in fiber mode: algorithms with a
+	// resumable (state-machine) form run inline on the shard workers,
+	// so a parked vertex is a small struct in the calendar instead of
+	// a goroutine, a stack and a channel — an order of magnitude less
+	// memory than Parallel at 10^6 vertices. Algorithms without a
+	// resumable form (currently everything but GHS) fall back to
+	// goroutine mode for that run; statistics are bit-identical either
+	// way.
+	Fiber
 )
 
 func (e Engine) String() string {
@@ -109,14 +118,16 @@ func (e Engine) String() string {
 		return "parallel"
 	case Cluster:
 		return "cluster"
+	case Fiber:
+		return "fiber"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
 }
 
 // ParseEngine converts a command-line engine name ("lockstep",
-// "parallel" or "cluster", case-insensitively) to an Engine. The empty
-// string means the default (Lockstep).
+// "parallel", "cluster" or "fiber", case-insensitively) to an Engine.
+// The empty string means the default (Lockstep).
 func ParseEngine(s string) (Engine, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "lockstep", "":
@@ -125,8 +136,10 @@ func ParseEngine(s string) (Engine, error) {
 		return Parallel, nil
 	case "cluster":
 		return Cluster, nil
+	case "fiber":
+		return Fiber, nil
 	default:
-		return 0, fmt.Errorf("congestmst: unknown engine %q (valid: lockstep, parallel, cluster)", s)
+		return 0, fmt.Errorf("congestmst: unknown engine %q (valid: lockstep, parallel, cluster, fiber)", s)
 	}
 }
 
@@ -265,11 +278,13 @@ type Options struct {
 	Algorithm Algorithm
 	// Engine selects the execution engine (default Lockstep). All
 	// engines produce identical results and statistics; Parallel
-	// scales to million-vertex graphs on multi-core hosts, Cluster
-	// runs over loopback TCP.
+	// scales to million-vertex graphs on multi-core hosts, Fiber is
+	// Parallel with resumable vertex programs instead of goroutines
+	// (an order of magnitude less memory for converted algorithms),
+	// Cluster runs over loopback TCP.
 	Engine Engine
-	// Workers sets the Parallel engine's worker-pool size (default
-	// GOMAXPROCS). Ignored by the other engines.
+	// Workers sets the worker-pool size of the Parallel and Fiber
+	// engines (default GOMAXPROCS). Ignored by the other engines.
 	Workers int
 	// Shards sets the Cluster engine's shard count; the run holds
 	// Shards·(Shards-1)/2 TCP connections (default min(4, n)). Ignored
@@ -425,6 +440,19 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 			Workers:   opts.Workers,
 		})
 		stats, err = engine.RunContext(ctx, program)
+	case Fiber:
+		engine := parsim.NewEngine(g, parsim.Config{
+			Bandwidth: opts.Bandwidth,
+			MaxRounds: opts.MaxRounds,
+			Workers:   opts.Workers,
+		})
+		if factory := fiberProgram(opts, ports); factory != nil {
+			stats, err = engine.RunFiberContext(ctx, factory)
+		} else {
+			// No resumable form for this algorithm yet: run the
+			// blocking program on the same engine in goroutine mode.
+			stats, err = engine.RunContext(ctx, program)
+		}
 	case Cluster:
 		stats, err = nettrans.RunContext(ctx, g, nettrans.Config{
 			Bandwidth: opts.Bandwidth,
@@ -459,6 +487,19 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// fiberProgram returns the resumable (fiber) form of the selected
+// algorithm, writing each vertex's MST ports into ports on
+// completion, or nil when only the blocking form exists — the Fiber
+// engine then falls back to goroutine mode for the run.
+func fiberProgram(opts Options, ports [][]int) func(id int) congest.Fiber {
+	switch opts.Algorithm {
+	case GHS:
+		return ghs.FiberFactory(len(ports), func(id int, mstPorts []int) { ports[id] = mstPorts })
+	default:
+		return nil
+	}
 }
 
 // MST computes the unique MST of g with the paper's algorithm under

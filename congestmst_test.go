@@ -37,7 +37,7 @@ func TestRunEmptyGraph(t *testing.T) {
 	// Regression: MSTFromPorts used to panic sizing its result slice
 	// for a zero-vertex graph.
 	g := NewBuilder(0).MustGraph()
-	for _, eng := range []Engine{Lockstep, Parallel} {
+	for _, eng := range []Engine{Lockstep, Parallel, Fiber} {
 		res, err := Run(g, Options{Engine: eng})
 		if err != nil {
 			t.Fatalf("%v: %v", eng, err)
@@ -158,7 +158,7 @@ func TestEngineString(t *testing.T) {
 		e    Engine
 		want string
 	}{
-		{Lockstep, "lockstep"}, {Parallel, "parallel"}, {Cluster, "cluster"},
+		{Lockstep, "lockstep"}, {Parallel, "parallel"}, {Cluster, "cluster"}, {Fiber, "fiber"},
 	}
 	for _, tt := range tests {
 		if got := tt.e.String(); got != tt.want {
@@ -170,8 +170,8 @@ func TestEngineString(t *testing.T) {
 func TestParseEngine(t *testing.T) {
 	// Engine names parse case-insensitively and with surrounding space.
 	for in, want := range map[string]Engine{
-		"lockstep": Lockstep, "parallel": Parallel, "cluster": Cluster,
-		"LOCKSTEP": Lockstep, "Parallel": Parallel, " Cluster ": Cluster,
+		"lockstep": Lockstep, "parallel": Parallel, "cluster": Cluster, "fiber": Fiber,
+		"LOCKSTEP": Lockstep, "Parallel": Parallel, " Cluster ": Cluster, " FIBER ": Fiber,
 	} {
 		got, err := ParseEngine(in)
 		if err != nil {

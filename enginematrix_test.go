@@ -9,11 +9,15 @@ import (
 )
 
 // engineUnderTest configures one non-reference engine of the matrix:
-// Parallel with enough workers to force real cross-shard traffic, and
-// Cluster with enough shards to force real cross-socket traffic.
+// Parallel with enough workers to force real cross-shard traffic,
+// Cluster with enough shards to force real cross-socket traffic, and
+// Fiber with the same worker spread (GHS runs its resumable form
+// there; the other algorithms exercise the goroutine fallback on the
+// fiber-selected engine).
 var enginesUnderTest = []congestmst.Options{
 	{Engine: congestmst.Parallel, Workers: 3},
 	{Engine: congestmst.Cluster, Shards: 3},
+	{Engine: congestmst.Fiber, Workers: 3},
 }
 
 // requireSameRun asserts the full cross-engine contract between a
@@ -105,7 +109,7 @@ func reweighted(t *testing.T, g *congestmst.Graph, f func(i int) int64) *congest
 // TestEngineMatrixTieBreaking pins deterministic tie-breaking across
 // the engines: with every weight equal (or drawn from a 3-value
 // palette), the MST is decided entirely by the lexicographic
-// (w, u, v) order, and all three engines must still agree bit-for-bit
+// (w, u, v) order, and all engines must still agree bit-for-bit
 // on the tree, the rounds, and the per-kind counters for every
 // algorithm.
 func TestEngineMatrixTieBreaking(t *testing.T) {
@@ -208,27 +212,34 @@ func TestDegenerateEdgeInputsRejected(t *testing.T) {
 
 // TestEngineMatrixBandwidth repeats a slice of the matrix under
 // CONGEST(b log n) bandwidth to cover the b > 1 accounting paths of
-// all three engines.
+// every engine — for GHS as well as Elkin, so the fiber engine's
+// per-call send accounting is exercised with real multi-message
+// rounds.
 func TestEngineMatrixBandwidth(t *testing.T) {
 	g, err := congestmst.RandomConnected(80, 240, congestmst.GenOptions{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, b := range []int{2, 4} {
-		lock, err := congestmst.Run(g, congestmst.Options{Bandwidth: b, Engine: congestmst.Lockstep})
-		if err != nil {
-			t.Fatalf("lockstep b=%d: %v", b, err)
-		}
-		for _, eng := range enginesUnderTest {
-			opts := eng
-			opts.Bandwidth = b
-			got, err := congestmst.Run(g, opts)
+	for _, alg := range []congestmst.Algorithm{congestmst.Elkin, congestmst.GHS} {
+		for _, b := range []int{2, 4} {
+			lock, err := congestmst.Run(g, congestmst.Options{
+				Algorithm: alg, Bandwidth: b, Engine: congestmst.Lockstep,
+			})
 			if err != nil {
-				t.Fatalf("%s b=%d: %v", opts.Engine, b, err)
+				t.Fatalf("lockstep %s b=%d: %v", alg, b, err)
 			}
-			if *lock.Stats != *got.Stats {
-				t.Errorf("b=%d: stats differ between lockstep and %s:\nlockstep: %+v\n%s: %+v",
-					b, opts.Engine, lock.Stats, opts.Engine, got.Stats)
+			for _, eng := range enginesUnderTest {
+				opts := eng
+				opts.Algorithm = alg
+				opts.Bandwidth = b
+				got, err := congestmst.Run(g, opts)
+				if err != nil {
+					t.Fatalf("%s %s b=%d: %v", opts.Engine, alg, b, err)
+				}
+				if *lock.Stats != *got.Stats {
+					t.Errorf("%s b=%d: stats differ between lockstep and %s:\nlockstep: %+v\n%s: %+v",
+						alg, b, opts.Engine, lock.Stats, opts.Engine, got.Stats)
+				}
 			}
 		}
 	}

@@ -1,0 +1,43 @@
+package congestmst_test
+
+import (
+	"testing"
+
+	"congestmst"
+)
+
+// TestFiberEngineLargeGraphSmoke is the scaling smoke for fiber mode:
+// GHS's resumable form on a 10^5-vertex sparse random graph, the
+// regime where goroutine-per-vertex execution starts costing
+// gigabytes. The computed tree is pinned to the Kruskal forest (the
+// auto-verifier skips ground truth above 2^18 edges, so the test
+// recomputes it explicitly).
+func TestFiberEngineLargeGraphSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^5-vertex fiber smoke skipped in short mode")
+	}
+	const n = 100_000
+	g, err := congestmst.RandomConnected(n, 3*n, congestmst.GenOptions{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := congestmst.Run(g, congestmst.Options{
+		Algorithm: congestmst.GHS,
+		Engine:    congestmst.Fiber,
+	})
+	if err != nil {
+		t.Fatalf("fiber GHS: %v", err)
+	}
+	want := g.MSF()
+	if len(res.MSTEdges) != len(want) {
+		t.Fatalf("MST has %d edges, Kruskal %d", len(res.MSTEdges), len(want))
+	}
+	for i := range want {
+		if res.MSTEdges[i] != want[i] {
+			t.Fatalf("MST edge %d = %d, Kruskal %d", i, res.MSTEdges[i], want[i])
+		}
+	}
+	if w := g.TotalWeight(want); res.Weight != w {
+		t.Fatalf("weight %d, Kruskal %d", res.Weight, w)
+	}
+}

@@ -1,4 +1,4 @@
-// Package bench defines the reproduction experiments (E1-E12): one per
+// Package bench defines the reproduction experiments (E1-E13): one per
 // claim of the paper plus the engine races, each regenerating a table
 // that EXPERIMENTS.md records. The same definitions back cmd/mstbench
 // and the root-level testing.B benchmarks.
@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"e10", "Message separation vs Pipeline-MST (Section 1.1)", E10PipelineMessages},
 		{"e11", "Engine scaling: parsim vs lockstep up to 10^6 vertices", E11ParsimScaling},
 		{"e12", "Cluster transport: TCP shard mesh vs lockstep", E12ClusterTransport},
+		{"e13", "Fiber memory: resumable vs goroutine vertex programs", E13FiberMemory},
 	}
 }
 

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"congestmst"
+	"congestmst/internal/graph"
+)
+
+// FiberJSONPath is where E13 writes its machine-readable results when
+// run at full scale (mstbench -full -e e13, or `make bench-fiber`).
+const FiberJSONPath = "BENCH_fiber.json"
+
+// FiberRow is one machine-readable E13 measurement.
+type FiberRow struct {
+	N                  int     `json:"n"`
+	M                  int     `json:"m"`
+	Workers            int     `json:"workers"`
+	Rounds             int64   `json:"rounds"`
+	Messages           int64   `json:"messages"`
+	GoroutineSeconds   float64 `json:"goroutine_seconds"`
+	FiberSeconds       float64 `json:"fiber_seconds"`
+	GoroutinePeakBytes uint64  `json:"goroutine_peak_mem_bytes"`
+	FiberPeakBytes     uint64  `json:"fiber_peak_mem_bytes"`
+	MemRatio           float64 `json:"mem_ratio"`
+	StatsMatch         bool    `json:"stats_match"`
+}
+
+// memWatcher samples HeapInuse+StackInuse in the background and
+// remembers the high-water mark: a portable stand-in for peak RSS
+// that attributes memory to the run in progress (unlike /proc VmHWM,
+// which is monotonic over the whole process). StackInuse is included
+// because goroutine stacks — the dominant cost of goroutine mode at
+// 10^6 vertices — live outside the heap.
+type memWatcher struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func watchMem() *memWatcher {
+	w := &memWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if mem := ms.HeapInuse + ms.StackInuse; mem > w.peak {
+				w.peak = mem
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return w
+}
+
+func (w *memWatcher) Peak() uint64 {
+	close(w.stop)
+	<-w.done
+	return w.peak
+}
+
+// timedGHSRun executes one GHS run on the given engine, reporting the
+// result, elapsed seconds and peak sampled memory.
+func timedGHSRun(g *graph.Graph, engine congestmst.Engine) (*congestmst.Result, float64, uint64, error) {
+	runtime.GC()
+	w := watchMem()
+	start := time.Now()
+	res, err := congestmst.RunContext(BaseContext, g, congestmst.Options{
+		Algorithm: congestmst.GHS, Engine: engine, Verify: congestmst.VerifyOff,
+	})
+	elapsed := time.Since(start).Seconds()
+	peak := w.Peak()
+	return res, elapsed, peak, err
+}
+
+// E13FiberMemory sweeps n on sparse random graphs (m = 2n, average
+// degree 4) and races the parallel engine's two execution modes on
+// GHS — the algorithm with a resumable form — against each other:
+// goroutine mode parks one goroutine (stack, channel, per-vertex
+// accounting) per vertex, fiber mode parks a state struct in the
+// calendar. Rounds/Messages/ByKind must agree bit for bit (asserted
+// per row); the headline is the peak memory ratio, which is what caps
+// the graph sizes the engine can demonstrate the paper's bounds on.
+// At full scale the sweep reaches 10^6 vertices and writes the rows
+// to BENCH_fiber.json.
+func E13FiberMemory(full bool) (*Table, error) {
+	ns := []int{4096, 16384}
+	if full {
+		ns = []int{100_000, 1_000_000}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	t := &Table{
+		ID:    "e13",
+		Title: fmt.Sprintf("fiber vs goroutine execution of GHS on sparse random graphs (m = 2n, workers = %d)", workers),
+		Claim: "fiber mode runs a converted algorithm with >=5x lower peak memory at 10^6 vertices, stats bit-identical",
+		Columns: []string{"n", "m", "rounds", "msgs", "goroutine s", "fiber s",
+			"goroutine peak MB", "fiber peak MB", "mem ratio", "stats equal"},
+	}
+	var rows []FiberRow
+	for _, n := range ns {
+		g, err := graph.RandomConnected(n, 2*n, graph.GenOptions{Seed: uint64(131 + n)})
+		if err != nil {
+			return nil, err
+		}
+		// Warm the shared CSR outside the timed windows so it is not
+		// charged to whichever run goes first.
+		g.CSR()
+		fib, fibSec, fibPeak, err := timedGHSRun(g, congestmst.Fiber)
+		if err != nil {
+			return nil, fmt.Errorf("fiber n=%d: %w", n, err)
+		}
+		gor, gorSec, gorPeak, err := timedGHSRun(g, congestmst.Parallel)
+		if err != nil {
+			return nil, fmt.Errorf("goroutine n=%d: %w", n, err)
+		}
+		match := gor.Rounds == fib.Rounds && gor.Messages == fib.Messages &&
+			*gor.Stats == *fib.Stats
+		matchStr := "yes"
+		if !match {
+			matchStr = "VIOLATED"
+		}
+		row := FiberRow{
+			N: n, M: g.M(), Workers: workers,
+			Rounds: gor.Rounds, Messages: gor.Messages,
+			GoroutineSeconds: gorSec, FiberSeconds: fibSec,
+			GoroutinePeakBytes: gorPeak, FiberPeakBytes: fibPeak,
+			MemRatio:   float64(gorPeak) / float64(fibPeak),
+			StatsMatch: match,
+		}
+		rows = append(rows, row)
+		mb := func(b uint64) string { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }
+		t.Rows = append(t.Rows, []string{
+			di(n), di(g.M()), d(gor.Rounds), d(gor.Messages),
+			fmt.Sprintf("%.3f", gorSec), fmt.Sprintf("%.3f", fibSec),
+			mb(gorPeak), mb(fibPeak), f2(row.MemRatio), matchStr,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"verification is skipped in both runs so the measurements cover the engines, not Kruskal",
+		"peak MB is the sampled HeapInuse+StackInuse high-water mark during the run (stacks are where goroutine mode's memory lives)",
+		"mem ratio is goroutine/fiber peak; the fiber engine falls back to goroutine mode for algorithms without a resumable form")
+	if full {
+		if err := writeFiberJSON(rows); err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, "rows written to "+FiberJSONPath)
+	}
+	return t, nil
+}
+
+var fiberJSONMu sync.Mutex
+
+func writeFiberJSON(rows []FiberRow) error {
+	fiberJSONMu.Lock()
+	defer fiberJSONMu.Unlock()
+	data, err := json.MarshalIndent(struct {
+		Experiment string     `json:"experiment"`
+		GoMaxProcs int        `json:"gomaxprocs"`
+		Rows       []FiberRow `json:"rows"`
+	}{"e13", runtime.GOMAXPROCS(0), rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(FiberJSONPath, append(data, '\n'), 0o644)
+}

@@ -352,6 +352,19 @@ func TestParseOpsErrors(t *testing.T) {
 		{"garbage", "nope", "op", 0},
 		{"empty", "\n\n", "empty op stream", 0},
 		{"over limit", `{"op":"delete","u":0,"v":1}` + "\n" + `{"op":"delete","u":1,"v":2}`, "exceeds the limit", 1},
+		// The cap is enforced before the line is decoded: a stream that
+		// is both oversized and malformed reports the size bound, so an
+		// attacker cannot trade a parse error for unbounded growth.
+		{"over limit before decode", `{"op":"delete","u":0,"v":1}` + "\n" + `nonsense`, "exceeds the limit", 1},
+		// Strict-codec regression pins: each of these used to parse with
+		// a silent default instead of erroring.
+		{"unknown field wt", `{"op":"insert","u":1,"v":2,"wt":9}`, `unknown field "wt"`, 0},
+		{"unknown field weight", `{"op":"insert","u":1,"v":2,"weight":9}`, `unknown field "weight"`, 0},
+		{"weight on delete", `{"op":"delete","u":1,"v":2,"w":9}`, "delete op carries w", 0},
+		{"insert missing v", `{"op":"insert","u":1,"w":9}`, "must set u and v", 0},
+		{"delete missing u", `{"op":"delete","v":2}`, "must set u and v", 0},
+		{"no op key", `{"u":1,"v":2,"w":9}`, "unknown op", 0},
+		{"line numbered", `{"op":"delete","u":0,"v":1}` + "\n" + `{"op":"delete","u":1,"v":2,"w":3}`, "line 2", 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

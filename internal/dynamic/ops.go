@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"congestmst/internal/ndjson"
 )
 
 // OpKind distinguishes the two edge operations of an update stream.
@@ -50,17 +52,20 @@ func (op EdgeOp) String() string {
 	return fmt.Sprintf("%s(%d,%d)", op.Kind, op.U, op.V)
 }
 
-// opLine is the NDJSON wire form of one EdgeOp.
+// opLine is the NDJSON wire form of one EdgeOp. U and V are pointers
+// so a line missing an endpoint is an error, never a defaulted
+// vertex 0.
 type opLine struct {
 	Op string `json:"op"`
-	U  int    `json:"u"`
-	V  int    `json:"v"`
+	U  *int   `json:"u"`
+	V  *int   `json:"v"`
 	W  *int64 `json:"w,omitempty"`
 }
 
 // MarshalJSON writes the NDJSON object form.
 func (op EdgeOp) MarshalJSON() ([]byte, error) {
-	l := opLine{Op: op.Kind.String(), U: op.U, V: op.V}
+	u, v := op.U, op.V
+	l := opLine{Op: op.Kind.String(), U: &u, V: &v}
 	if op.Kind == Insert {
 		w := op.W
 		l.W = &w
@@ -68,10 +73,14 @@ func (op EdgeOp) MarshalJSON() ([]byte, error) {
 	return json.Marshal(l)
 }
 
-// UnmarshalJSON reads the NDJSON object form.
+// UnmarshalJSON reads the NDJSON object form, strictly: unknown keys
+// (a misspelled "wt" used to patch as w=1), missing endpoints, a
+// weight on a delete (weight is not part of an edge's identity, so a
+// delete carrying one is a confused request), and trailing data are
+// all errors rather than silent defaults.
 func (op *EdgeOp) UnmarshalJSON(data []byte) error {
 	var l opLine
-	if err := json.Unmarshal(data, &l); err != nil {
+	if err := ndjson.DecodeLine(data, &l); err != nil {
 		return err
 	}
 	switch strings.ToLower(strings.TrimSpace(l.Op)) {
@@ -82,18 +91,25 @@ func (op *EdgeOp) UnmarshalJSON(data []byte) error {
 			op.W = *l.W
 		}
 	case "delete":
+		if l.W != nil {
+			return fmt.Errorf("dynamic: delete op carries w=%d; weight is not part of an edge's identity", *l.W)
+		}
 		op.Kind = Delete
 		op.W = 0
 	default:
 		return fmt.Errorf("dynamic: unknown op %q (valid: insert, delete)", l.Op)
 	}
-	op.U, op.V = l.U, l.V
+	if l.U == nil || l.V == nil {
+		return fmt.Errorf("dynamic: %s op must set u and v", op.Kind)
+	}
+	op.U, op.V = *l.U, *l.V
 	return nil
 }
 
 // ParseOps reads an NDJSON op stream: one EdgeOp object per line, blank
 // lines skipped. maxOps > 0 bounds the stream (an oversized body must
-// fail before an unbounded slice is built); maxOps <= 0 means no bound.
+// fail before an unbounded slice is built — the cap is enforced before
+// the line is even decoded); maxOps <= 0 means no bound.
 func ParseOps(r io.Reader, maxOps int) ([]EdgeOp, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -105,12 +121,12 @@ func ParseOps(r io.Reader, maxOps int) ([]EdgeOp, error) {
 		if text == "" {
 			continue
 		}
+		if maxOps > 0 && len(ops) >= maxOps {
+			return nil, fmt.Errorf("line %d: op count exceeds the limit of %d", line, maxOps)
+		}
 		var op EdgeOp
 		if err := json.Unmarshal([]byte(text), &op); err != nil {
 			return nil, fmt.Errorf("line %d: op %q: %w", line, text, err)
-		}
-		if maxOps > 0 && len(ops) >= maxOps {
-			return nil, fmt.Errorf("line %d: op count exceeds the limit of %d", line, maxOps)
 		}
 		ops = append(ops, op)
 	}

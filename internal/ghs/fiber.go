@@ -1,0 +1,107 @@
+package ghs
+
+import (
+	"congestmst/internal/congest"
+)
+
+// Fiber is the resumable form of Run: the same GHS node, driven as a
+// congest.Fiber state machine instead of a blocking goroutine. The
+// blocking program has exactly two wait sites — the hello collection
+// loop and the main loop's Step/Recv — so the conversion is a
+// two-state machine around the shared node methods: Resume plays the
+// fixpoint message processing the blocking loop runs after a wake,
+// flush plays the output-queue drain it runs before the next park,
+// and the Step/Recv/return choice becomes the returned Park. Send
+// order, park targets and therefore Rounds/Messages/ByKind are
+// bit-identical to the blocking form on every engine.
+type Fiber struct {
+	n     node
+	state fiberState
+	got   int32 // hello replies received
+
+	// report receives the vertex's MST ports exactly once, when the
+	// program finishes; it is shared by every fiber of a run.
+	report func(id int, mstPorts []int)
+}
+
+type fiberState uint8
+
+const (
+	fsHello fiberState = iota // collecting neighbor identities
+	fsMain                    // the GHS protocol proper
+)
+
+// FiberFactory returns a factory producing the resumable form of Run
+// for each of n vertices, backed by one slab allocation — at 10^6
+// vertices, one million-entry array instead of a million little
+// structs matters. report is called exactly once per vertex, when the
+// protocol terminates there, with the ports of its incident MST edges
+// (the Branch edges, nil for an isolated vertex).
+func FiberFactory(n int, report func(id int, mstPorts []int)) func(id int) congest.Fiber {
+	slab := make([]Fiber, n)
+	return func(id int) congest.Fiber {
+		f := &slab[id]
+		f.report = report
+		return f
+	}
+}
+
+var _ congest.Fiber = (*Fiber)(nil)
+
+// Start is the round-0 prologue: send the identity exchange and wait
+// for the replies, exactly like the blocking hello().
+func (f *Fiber) Start(c congest.Context) congest.Park {
+	deg := c.Degree()
+	if deg == 0 {
+		f.report(c.ID(), nil) // isolated vertex: empty MST
+		return congest.ParkDone
+	}
+	f.n = node{
+		ctx:      c,
+		nbrID:    make([]int32, deg),
+		se:       make([]int8, deg),
+		bestEdge: -1,
+		testEdge: -1,
+		inBranch: -1,
+	}
+	for p := 0; p < deg; p++ {
+		c.Send(p, congest.Message{Kind: KindHello, A: int64(c.ID())})
+	}
+	return congest.ParkAwait
+}
+
+// Resume continues the program with one wake's deliveries.
+func (f *Fiber) Resume(c congest.Context, msgs []congest.Inbound) congest.Park {
+	n := &f.n
+	// The Context is only valid for this call; re-bind it so the
+	// shared node methods (key, minBasic, flushOutQ) see the live one.
+	n.ctx = c
+	if f.state == fsHello {
+		f.got += int32(n.helloBatch(msgs))
+		if int(f.got) < c.Degree() {
+			return congest.ParkAwait
+		}
+		n.wakeup()
+		f.state = fsMain
+		return f.flush(c)
+	}
+	n.process(msgs)
+	return f.flush(c)
+}
+
+// flush drains the output queues and parks the way the blocking main
+// loop chooses its next wait: Step while there is a backlog (or a
+// halt still propagating), Recv when only another message can change
+// anything, done once halted with nothing left to send.
+func (f *Fiber) flush(c congest.Context) congest.Park {
+	n := &f.n
+	backlog := n.flushOutQ()
+	if n.halted && !backlog {
+		f.report(c.ID(), n.branchPorts())
+		return congest.ParkDone
+	}
+	if backlog || n.halted {
+		return congest.ParkUntil(c.Round() + 1) // Step
+	}
+	return congest.ParkAwait // Recv
+}

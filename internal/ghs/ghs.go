@@ -18,7 +18,10 @@
 package ghs
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
+	"sync"
 
 	"congestmst/internal/congest"
 )
@@ -62,7 +65,7 @@ type Result struct {
 type node struct {
 	ctx congest.Context
 
-	nbrID []int64
+	nbrID []int32
 	se    []int8
 
 	sn        int64
@@ -75,8 +78,38 @@ type node struct {
 	findCount int
 
 	pending []congest.Inbound
-	outQ    [][]congest.Message
-	halted  bool
+	// outQ is the output queue: one port-tagged FIFO for the whole
+	// vertex instead of a slice header per port, borrowed from qpool
+	// between the round's first send and its flush. A queue outlives
+	// a flush only under backlog (more than Bandwidth messages on one
+	// port), so a handful of pooled buffers serve a million vertices
+	// where per-vertex queues would put a million growth ladders on
+	// the heap.
+	outQ   *[]queued
+	halted bool
+}
+
+// qpool recycles output-queue buffers across vertices (pointer-typed:
+// a *[]queued round-trips through the pool without boxing garbage).
+var qpool = sync.Pool{New: func() any { q := make([]queued, 0, 16); return &q }}
+
+// queued is one queued protocol message, packed for the protocol's
+// actual payload ranges: A only ever carries a fragment level (well
+// under 2^31) and D a two-valued node state, so an entry is 32 bytes
+// instead of the 48 of a port plus a general congest.Message. At a
+// million vertices the queues are a measurable slice of engine
+// memory.
+type queued struct {
+	b, c int64 // B, C payloads: weight and packed edge key
+	port int32
+	a    int32 // A payload: fragment level
+	kind uint8
+	d    uint8 // D payload: node state
+}
+
+// unpack reconstructs the wire message.
+func (q queued) unpack() congest.Message {
+	return congest.Message{Kind: q.kind, A: int64(q.a), B: q.b, C: q.c, D: int64(q.d)}
 }
 
 // Run executes GHS on this vertex and returns its view of the MST.
@@ -85,12 +118,11 @@ func Run(ctx congest.Context) *Result {
 	deg := ctx.Degree()
 	n := &node{
 		ctx:      ctx,
-		nbrID:    make([]int64, deg),
+		nbrID:    make([]int32, deg),
 		se:       make([]int8, deg),
 		bestEdge: -1,
 		testEdge: -1,
 		inBranch: -1,
-		outQ:     make([][]congest.Message, deg),
 	}
 	if deg == 0 {
 		return &Result{} // isolated vertex: empty MST
@@ -98,13 +130,19 @@ func Run(ctx congest.Context) *Result {
 	n.hello()
 	n.wakeup()
 	n.mainLoop()
+	return &Result{MSTPorts: n.branchPorts()}
+}
+
+// branchPorts lists the Branch ports at termination: the vertex's
+// local view of the MST.
+func (n *node) branchPorts() []int {
 	var ports []int
 	for p, s := range n.se {
 		if s == branch {
 			ports = append(ports, p)
 		}
 	}
-	return &Result{MSTPorts: ports}
+	return ports
 }
 
 // hello exchanges vertex identities so edge keys are comparable.
@@ -115,21 +153,43 @@ func (n *node) hello() {
 	}
 	got := 0
 	for got < deg {
-		for _, in := range n.ctx.Recv() {
-			if in.Msg.Kind != KindHello {
-				// An eager neighbor already started the protocol; defer.
-				n.pending = append(n.pending, in)
-				continue
-			}
-			n.nbrID[in.Port] = in.Msg.A
-			got++
+		inbox := n.ctx.Recv()
+		got += n.helloBatch(inbox)
+	}
+}
+
+// helloBatch folds one wake's deliveries into the identity exchange:
+// hellos are recorded, anything else — an eager neighbor already
+// started the protocol — is deferred to pending (grown by exactly the
+// batch's deferral count, keeping a million vertices' buffers off the
+// append doubling ladder). It returns the number of hellos seen.
+func (n *node) helloBatch(inbox []congest.Inbound) int {
+	deferred := 0
+	for _, in := range inbox {
+		if in.Msg.Kind != KindHello {
+			deferred++
 		}
 	}
+	if deferred > 0 && cap(n.pending)-len(n.pending) < deferred {
+		np := make([]congest.Inbound, len(n.pending), len(n.pending)+deferred)
+		copy(np, n.pending)
+		n.pending = np
+	}
+	got := 0
+	for _, in := range inbox {
+		if in.Msg.Kind != KindHello {
+			n.pending = append(n.pending, in)
+			continue
+		}
+		n.nbrID[in.Port] = int32(in.Msg.A)
+		got++
+	}
+	return got
 }
 
 // key returns the unique weight key of the edge behind port p.
 func (n *node) key(p int) [2]int64 {
-	a, b := int64(n.ctx.ID()), n.nbrID[p]
+	a, b := int64(n.ctx.ID()), int64(n.nbrID[p])
 	if a > b {
 		a, b = b, a
 	}
@@ -158,7 +218,12 @@ func (n *node) minBasic() int {
 }
 
 func (n *node) send(p int, m congest.Message) {
-	n.outQ[p] = append(n.outQ[p], m)
+	if n.outQ == nil {
+		n.outQ = qpool.Get().(*[]queued)
+	}
+	*n.outQ = append(*n.outQ, queued{
+		b: m.B, c: m.C, port: int32(p), a: int32(m.A), kind: m.Kind, d: uint8(m.D),
+	})
 }
 
 // wakeup is the spontaneous start: connect over the lightest edge.
@@ -173,20 +238,7 @@ func (n *node) wakeup() {
 
 func (n *node) mainLoop() {
 	for {
-		// Drain the per-port output queues, respecting bandwidth.
-		backlog := false
-		b := n.ctx.Bandwidth()
-		for p := range n.outQ {
-			sent := 0
-			for len(n.outQ[p]) > 0 && sent < b {
-				n.ctx.Send(p, n.outQ[p][0])
-				n.outQ[p] = n.outQ[p][1:]
-				sent++
-			}
-			if len(n.outQ[p]) > 0 {
-				backlog = true
-			}
-		}
+		backlog := n.flushOutQ()
 		if n.halted && !backlog {
 			return
 		}
@@ -200,26 +252,84 @@ func (n *node) mainLoop() {
 		} else {
 			inbox = n.ctx.Recv()
 		}
-		// Process to a fixpoint: a message handled late in the batch may
-		// enable one requeued earlier in it.
-		work := append(n.pending, inbox...)
-		n.pending = nil
-		for {
-			progressed := false
-			var still []congest.Inbound
-			for _, in := range work {
-				if n.handle(in) {
-					progressed = true
-				} else {
-					still = append(still, in)
-				}
+		n.process(inbox)
+	}
+}
+
+// flushOutQ drains the output queue in ascending port order with
+// per-port FIFO, respecting bandwidth, and reports whether messages
+// remain. The stable sort regroups the queue by port while keeping
+// each port's send order (leftovers compact to the front, so they
+// still precede anything queued later), which makes the emitted
+// sequence identical to draining one FIFO per port — without a slice
+// header per port.
+func (n *node) flushOutQ() bool {
+	if n.outQ == nil || len(*n.outQ) == 0 {
+		return false
+	}
+	q := *n.outQ
+	slices.SortStableFunc(q, func(a, b queued) int { return cmp.Compare(a.port, b.port) })
+	b := n.ctx.Bandwidth()
+	keep, i := 0, 0
+	for i < len(q) {
+		p := q[i].port
+		sent := 0
+		for i < len(q) && q[i].port == p {
+			if sent < b {
+				n.ctx.Send(int(p), q[i].unpack())
+				sent++
+			} else {
+				q[keep] = q[i]
+				keep++
 			}
-			work = still
-			if !progressed || len(work) == 0 {
-				break
+			i++
+		}
+	}
+	*n.outQ = q[:keep]
+	if keep == 0 {
+		qpool.Put(n.outQ)
+		n.outQ = nil
+	}
+	return keep > 0
+}
+
+// process handles one wake's deliveries plus the deferred pending set
+// to a fixpoint: a message handled late in the batch may enable one
+// requeued earlier in it. Unhandled messages compact in place and
+// survivors land back in pending's own backing array, so a warm
+// vertex processes wake after wake without allocating; inbox itself
+// is read (and compacted) only during the call and never aliased
+// into pending, so the engine-owned msgs buffer of a fiber wake is
+// safe to pass straight through.
+func (n *node) process(inbox []congest.Inbound) {
+	work := inbox
+	own := false // does work sit in pending's backing (ours to keep)?
+	if len(n.pending) > 0 {
+		work = append(n.pending, inbox...)
+		own = true
+	}
+	for {
+		progressed, kept := false, 0
+		for _, in := range work {
+			if n.handle(in) {
+				progressed = true
+			} else {
+				work[kept] = in
+				kept++
 			}
 		}
+		work = work[:kept]
+		if !progressed || kept == 0 {
+			break
+		}
+	}
+	switch {
+	case own:
 		n.pending = work
+	case len(work) > 0:
+		n.pending = append(n.pending[:0], work...)
+	default:
+		n.pending = n.pending[:0]
 	}
 }
 

@@ -1,0 +1,31 @@
+// Package ndjson is the strict line codec shared by every NDJSON
+// admission surface (graph uploads, PATCH op streams, -updates
+// replay files). One line is one JSON object, decoded with unknown
+// fields disallowed and trailing data rejected: a misspelled key
+// ("weight" for "w", "wt" for "w") or a pasted half-line must be a
+// line-numbered 4xx, never a silently defaulted value.
+package ndjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DecodeLine unmarshals one NDJSON line into v, rejecting unknown
+// fields and trailing data after the object. v follows json.Unmarshal
+// conventions (a non-nil pointer); make required keys pointer-typed
+// and check them for nil at the call site.
+func DecodeLine(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}

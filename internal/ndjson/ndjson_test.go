@@ -1,0 +1,45 @@
+package ndjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeLine(t *testing.T) {
+	type obj struct {
+		A *int `json:"a"`
+		B int  `json:"b"`
+	}
+	cases := []struct {
+		name string
+		in   string
+		want string // error substring, "" for accept
+	}{
+		{"minimal", `{"a":1}`, ""},
+		{"full", `{"a":1,"b":2}`, ""},
+		{"surrounding space", ` {"a":1} `, ""},
+		{"unknown field", `{"a":1,"c":3}`, "unknown field"},
+		{"misspelled key", `{"aa":1}`, "unknown field"},
+		{"trailing garbage", `{"a":1} x`, "trailing data"},
+		{"second object", `{"a":1}{"a":2}`, "trailing data"},
+		{"trailing scalar", `{"a":1} 7`, "trailing data"},
+		{"not an object", `[1,2]`, "cannot unmarshal"},
+		{"bare garbage", `nope`, "invalid character"},
+		{"wrong type", `{"a":"x"}`, "cannot unmarshal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var v obj
+			err := DecodeLine([]byte(tc.in), &v)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("DecodeLine(%q) = %v, want nil", tc.in, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("DecodeLine(%q) = %v, want substring %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"congestmst/internal/congest"
 )
 
-// Ctx is parsim's processor-side view: the same API as congest.Ctx
-// (both satisfy congest.Context), backed by the shared graph.CSR and
-// the engine's shard arenas. All methods must be called only from the
-// program's own goroutine.
+// Ctx is parsim's processor-side view in goroutine mode: the same API
+// as congest.Ctx (both satisfy congest.Context), backed by the shared
+// graph.CSR and the engine's shard arenas. All methods must be called
+// only from the program's own goroutine. Ctx values live in one
+// per-run slab (one allocation for the whole graph, not one per
+// vertex) and carry no channel: parking and waking go through the
+// node/shard semaphores.
 type Ctx struct {
 	e     *Engine
 	id    int
@@ -24,32 +27,15 @@ type Ctx struct {
 	outbox []outMsg
 	spare  []outMsg
 
-	resume chan wake
-
 	// sentAt/sentN implement lazy per-round bandwidth accounting
-	// without an O(degree) reset every round.
+	// without an O(degree) reset every round. They stay nil until the
+	// vertex's first Send, so a vertex that only listens never pays
+	// O(degree) engine state.
 	sentAt []int64
 	sentN  []int32
 }
 
 var _ congest.Context = (*Ctx)(nil)
-
-func newCtx(e *Engine, id int) *Ctx {
-	deg := e.csr.Degree(id)
-	c := &Ctx{
-		e:      e,
-		id:     id,
-		base:   e.csr.Off[id],
-		deg:    deg,
-		resume: make(chan wake, 1),
-		sentAt: make([]int64, deg),
-		sentN:  make([]int32, deg),
-	}
-	for p := range c.sentAt {
-		c.sentAt[p] = -1
-	}
-	return c
-}
 
 // ID returns the identity of the hosting vertex.
 func (c *Ctx) ID() int { return c.id }
@@ -73,6 +59,13 @@ func (c *Ctx) Send(p int, m congest.Message) {
 	if p < 0 || p >= c.deg {
 		c.e.fail(fmt.Errorf("parsim: processor %d sent on invalid port %d", c.id, p))
 		panic(errAborted)
+	}
+	if c.sentAt == nil {
+		c.sentAt = make([]int64, c.deg)
+		c.sentN = make([]int32, c.deg)
+		for i := range c.sentAt {
+			c.sentAt[i] = -1
+		}
 	}
 	if c.sentAt[p] != c.round {
 		c.sentAt[p] = c.round
@@ -110,13 +103,16 @@ func (c *Ctx) RecvUntil(target int64) []congest.Inbound {
 
 func (c *Ctx) yield(target int64) []congest.Inbound {
 	nd := &c.e.nodes[c.id]
-	nd.out = yieldRec{outbox: c.outbox, target: target}
+	gn := &c.e.gnodes[c.id]
+	gn.out = yieldRec{outbox: c.outbox, target: target}
 	c.outbox, c.spare = c.spare[:0], c.outbox
-	c.e.shards[c.e.shardOf(c.id)].yield <- c.id
-	w := <-c.resume
-	if w.abort {
+	c.e.shards[c.e.shardOf(c.id)].yieldSem.Unlock() // hand the yield to the exec loop
+	gn.sem.Lock()                                   // park until the next wake
+	if gn.abort {
 		panic(errAborted)
 	}
-	c.round = w.round
-	return w.msgs
+	c.round = gn.wakeRound
+	msgs := nd.inbox
+	nd.inbox = nil
+	return msgs
 }

@@ -33,17 +33,32 @@
 // execution (BFS fronts, fragment chains) keeps lockstep-like latency
 // while the wide rounds (Boruvka floods, forest phases) fan out.
 //
-// Per-vertex engine state is O(deg(v)): the bandwidth accounting
-// slices, one wake channel, and amortized outbox buffers. The
-// adjacency is the shared graph.CSR, so a million-vertex run fits in
-// memory where per-vertex slice-of-slice bookkeeping would not.
+// The engine runs programs in either of two modes:
+//
+//   - Goroutine mode (RunContext): the program is a blocking
+//     func(congest.Context); every vertex owns a goroutine that parks
+//     in Step/Recv/RecvUntil. Compatible with every algorithm in the
+//     repository, but a million parked goroutines cost gigabytes of
+//     stacks.
+//
+//   - Fiber mode (RunFiberContext): the program is a resumable Fiber
+//     state machine executed inline on the shard workers; a parked
+//     vertex is its state struct plus a calendar entry — no goroutine,
+//     no stack, no channel. An order of magnitude less memory at
+//     10^6 vertices, with the same bit-identical statistics.
+//
+// Both modes share the round loop, the calendar, and the delivery
+// path, so their Rounds/Messages/ByKind agree with each other and
+// with the lockstep engine.
 package parsim
 
 import (
+	"cmp"
 	"container/heap"
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -94,7 +109,7 @@ const (
 	parallelThreshold = 512
 )
 
-// errAborted unwinds vertex goroutines after a failure; it never
+// errAborted unwinds vertex programs after a failure; it never
 // escapes the package.
 var errAborted = fmt.Errorf("parsim: run aborted")
 
@@ -117,37 +132,58 @@ type yieldRec struct {
 	done   bool
 }
 
-type wake struct {
-	round int64
-	msgs  []congest.Inbound
-	abort bool
+// node is the engine-side state of one vertex, lean enough that a
+// million parked fibers cost tens of megabytes. Every field is owned
+// by the vertex's own shard: the exec phase touches it from the
+// shard's processing loop, the deliver phase from the destination
+// shard's merge loop — the same shard, since a vertex's inbox belongs
+// to the shard that contains the vertex — and the two phases are
+// separated by a barrier.
+type node struct {
+	fib congest.Fiber // fiber mode: the resumable program (nil once done)
+
+	inbox []congest.Inbound
+
+	started bool // fiber mode: Start has run
+	queued  bool
+	parked  bool
+	done    bool
+	target  int64
+	gen     int64
 }
 
-// node is the engine-side state of one vertex. Every field is owned by
-// the vertex's own shard: the exec phase touches it from the shard's
-// processing loop, the deliver phase from the destination shard's
-// merge loop — the same shard, since a vertex's inbox belongs to the
-// shard that contains the vertex — and the two phases are separated by
-// a barrier. The out field is written by the vertex goroutine before
-// it signals its yield, which happens-before the shard reads it.
-type node struct {
-	ctx    *Ctx
-	inbox  []congest.Inbound
-	out    yieldRec
-	queued bool
-	parked bool
-	done   bool
-	target int64
-	gen    int64
+// gnode is the goroutine-mode extension of node, allocated only when
+// a run actually parks goroutines. The exec loop hands it back and
+// forth with the vertex's goroutine: the engine writes wakeRound and
+// abort (and leaves node.inbox sorted) before releasing sem, the
+// program writes out before releasing the shard's yieldSem, and the
+// two semaphore handoffs order every access.
+type gnode struct {
+	ctx *Ctx // the vertex's processor-side view
+
+	// sem is the park semaphore: held by the engine while the program
+	// runs or is parked, released once per wake. One mutex instead of
+	// the former one-buffered channel per vertex.
+	sem       sync.Mutex
+	wakeRound int64
+	abort     bool
+	out       yieldRec
 }
 
 // shard owns a contiguous vertex range and this round's arenas.
 type shard struct {
 	lo, hi int
 
-	// yield is the rendezvous for this shard's vertices; buffered to
-	// the shard size so a yielding vertex never blocks.
-	yield chan int
+	// yieldSem is the goroutine-mode yield rendezvous: held by the
+	// engine, released by a yielding (or returning) vertex program.
+	// Exec resumes the shard's vertices one at a time, so a single
+	// semaphore per shard replaces the former per-shard channel
+	// buffered to the shard size.
+	yieldSem sync.Mutex
+
+	// fc is the fiber-mode execution context, shared by every vertex
+	// of the shard (exec is inline and sequential within a shard).
+	fc fiberCtx
 
 	// active/nextActive are this and next round's wake sets (own
 	// vertices only, sorted ascending before execution).
@@ -157,6 +193,21 @@ type shard struct {
 	// buckets[d] stages messages from this shard to shard d; the
 	// backing arrays are reused from round to round.
 	buckets [][]delivery
+
+	// Fiber-mode delivery arena. A fiber's msgs argument is
+	// engine-owned and valid only during the call, so one round's
+	// deliveries to this shard live in a single flat array (written by
+	// the deliver phase, fully consumed by the next exec phase) and
+	// every vertex's inbox is a view into it: zero allocations per
+	// round, where goroutine mode — whose programs own what Recv
+	// returned — must allocate one inbox per wake. cnt/start are
+	// per-local-vertex scatter state and touched lists the local
+	// indices with deliveries this round; all four are reused for the
+	// life of the run.
+	inArena []congest.Inbound
+	cnt     []int32
+	start   []int32
+	touched []int32
 
 	// timers stages calendar entries for the coordinator.
 	timers []timerEntry
@@ -182,8 +233,10 @@ type Engine struct {
 	cfg Config
 
 	nodes     []node
+	gnodes    []gnode // goroutine mode only
 	shards    []shard
 	shardSize int
+	fiberMode bool
 
 	round       int64
 	statsRounds int64
@@ -238,13 +291,25 @@ func NewEngine(g *graph.Graph, cfg Config) *Engine {
 		s := &e.shards[i]
 		s.lo = i * shardSize
 		s.hi = min(s.lo+shardSize, n)
-		s.yield = make(chan int, s.hi-s.lo)
 		s.buckets = make([][]delivery, nShards)
 	}
 	return e
 }
 
 func (e *Engine) shardOf(v int) int { return v / e.shardSize }
+
+// begin guards single use and pre-cancelled contexts for both run
+// entry points; ok reports whether the run should proceed.
+func (e *Engine) begin(ctx context.Context) (*congest.Stats, error, bool) {
+	if e.nodes == nil && e.g.N() > 0 {
+		return nil, congest.ErrReused, false
+	}
+	if err := ctx.Err(); err != nil {
+		e.nodes = nil
+		return &congest.Stats{}, fmt.Errorf("parsim: run cancelled: %w", err), false
+	}
+	return nil, nil, true
+}
 
 // Run executes program on every vertex and blocks until all processors
 // return (or the run fails). It returns the stats accumulated up to
@@ -259,20 +324,88 @@ func (e *Engine) Run(program func(congest.Context)) (*congest.Stats, error) {
 // worker pool and all vertex goroutines before returning an error
 // wrapping ctx.Err().
 func (e *Engine) RunContext(ctx context.Context, program func(congest.Context)) (*congest.Stats, error) {
-	if e.nodes == nil && e.g.N() > 0 {
-		return nil, congest.ErrReused
-	}
-	if err := ctx.Err(); err != nil {
-		e.nodes = nil
-		return &congest.Stats{}, fmt.Errorf("parsim: run cancelled: %w", err)
+	if stats, err, ok := e.begin(ctx); !ok {
+		return stats, err
 	}
 	n := e.g.N()
+	// One slab each for the Ctx and gnode sides: two allocations
+	// instead of 2n, and the bandwidth-accounting slices inside each
+	// Ctx stay nil until a vertex actually sends (see Ctx.Send).
+	ctxs := make([]Ctx, n)
+	e.gnodes = make([]gnode, n)
 	for v := 0; v < n; v++ {
-		e.nodes[v].ctx = newCtx(e, v)
+		c := &ctxs[v]
+		c.e = e
+		c.id = v
+		c.base = e.csr.Off[v]
+		c.deg = e.csr.Degree(v)
+		gn := &e.gnodes[v]
+		gn.ctx = c
+		gn.sem.Lock() // semaphore starts at 0: the program parks until released
+	}
+	for i := range e.shards {
+		e.shards[i].yieldSem.Lock()
 	}
 	for v := 0; v < n; v++ {
-		go e.runNode(e.nodes[v].ctx, program)
+		go e.runNode(&ctxs[v], program)
 	}
+	return e.runLoop(ctx)
+}
+
+// RunFiberContext executes one Fiber per vertex in fiber mode: Start
+// and Resume are called inline on the shard workers, and a parked
+// vertex costs its state struct instead of a goroutine. Cancellation
+// has no goroutines to unwind — the engine drops every fiber and
+// returns, leaving zero vertex state live. Statistics are
+// bit-identical to the same algorithm's blocking form on any engine.
+func (e *Engine) RunFiberContext(ctx context.Context, factory func(id int) congest.Fiber) (*congest.Stats, error) {
+	if stats, err, ok := e.begin(ctx); !ok {
+		return stats, err
+	}
+	e.fiberMode = true
+	n := e.g.N()
+	for v := 0; v < n; v++ {
+		e.nodes[v].fib = factory(v)
+	}
+	// Pre-size the delivery arenas at their b=1 worst case — one
+	// message per arc, which is exactly what a protocol's identity
+	// exchange or a Boruvka flood produces. Growing these to
+	// hundreds of megabytes through append doubling would leave an
+	// equal weight of garbage behind at the moment of peak demand;
+	// sized up front they are part of the stable live set and the
+	// steady state allocates nothing per round. (Runs with b > 1 that
+	// actually exceed an arc's single slot still grow organically.)
+	pairArcs := make([][]int64, len(e.shards))
+	for i := range pairArcs {
+		pairArcs[i] = make([]int64, len(e.shards))
+	}
+	for v := 0; v < n; v++ {
+		src := e.shardOf(v)
+		for pos := e.csr.Off[v]; pos < e.csr.Off[v+1]; pos++ {
+			pairArcs[src][e.shardOf(int(e.csr.To[pos]))]++
+		}
+	}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.fc.e = e
+		s.cnt = make([]int32, s.hi-s.lo)
+		s.start = make([]int32, s.hi-s.lo)
+		if local := e.csr.Off[s.hi] - e.csr.Off[s.lo]; local > 0 {
+			s.inArena = make([]congest.Inbound, 0, local)
+		}
+		for d, c := range pairArcs[i] {
+			if c > 0 {
+				s.buckets[d] = make([]delivery, 0, c)
+			}
+		}
+	}
+	return e.runLoop(ctx)
+}
+
+// runLoop is the shared round loop: release everyone in round 0, then
+// play rounds and advance the clock until every program finished, the
+// context dies, or the run fails.
+func (e *Engine) runLoop(ctx context.Context) (*congest.Stats, error) {
 	for w := 0; w < e.nworkers; w++ {
 		go e.worker()
 	}
@@ -286,11 +419,12 @@ func (e *Engine) RunContext(ctx context.Context, program func(congest.Context)) 
 		}
 	}
 
+	n := e.g.N()
 	doneCount := 0
 	for n > 0 {
 		doneCount += e.playRound()
 		if e.aborted.Load() {
-			doneCount += e.drain()
+			e.drain()
 			break
 		}
 		if doneCount == n {
@@ -298,12 +432,12 @@ func (e *Engine) RunContext(ctx context.Context, program func(congest.Context)) 
 		}
 		if err := ctx.Err(); err != nil {
 			e.fail(fmt.Errorf("parsim: run cancelled: %w", err))
-			doneCount += e.drain()
+			e.drain()
 			break
 		}
 		if err := e.advance(); err != nil {
 			e.fail(err)
-			doneCount += e.drain()
+			e.drain()
 			break
 		}
 	}
@@ -316,7 +450,8 @@ func (e *Engine) RunContext(ctx context.Context, program func(congest.Context)) 
 			stats.ByKind[k] += c
 		}
 	}
-	e.nodes = nil // single use
+	e.nodes = nil // single use; drops every fiber and inbox
+	e.gnodes = nil
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return stats, e.failErr
@@ -382,16 +517,23 @@ func (e *Engine) worker() {
 }
 
 func (e *Engine) runShardPhase(ph phaseKind, i int) {
-	if ph == phaseExec {
-		e.execShard(i)
-	} else {
+	switch {
+	case ph == phaseDeliver && e.fiberMode:
+		e.deliverShardFiber(i)
+	case ph == phaseDeliver:
 		e.deliverShard(i)
+	case e.fiberMode:
+		e.execShardFiber(i)
+	default:
+		e.execShard(i)
 	}
 }
 
-// execShard resumes the shard's active vertices, waits for all of them
-// to yield, then processes their outboxes and park targets in
-// ascending vertex order.
+// execShard resumes the shard's active vertex goroutines one at a
+// time, in ascending vertex order, processing each outbox and park
+// target as its yield comes back. Serializing within the shard keeps
+// the deterministic-merge contract by construction; parallelism comes
+// from the other shards.
 func (e *Engine) execShard(i int) {
 	s := &e.shards[i]
 	if len(s.active) == 0 {
@@ -406,43 +548,142 @@ func (e *Engine) execShard(i int) {
 		nd := &e.nodes[id]
 		nd.queued = false
 		nd.parked = false
-		msgs := nd.inbox
-		nd.inbox = nil
-		if len(msgs) > 1 {
-			sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].Port < msgs[b].Port })
-		}
-		nd.ctx.resume <- wake{round: e.round, msgs: msgs}
+		sortInbox(nd.inbox)
+		gn := &e.gnodes[id]
+		gn.wakeRound = e.round
+		gn.sem.Unlock()   // resume the program
+		s.yieldSem.Lock() // wait for its yield (or return)
+		e.settle(s, id)
 	}
-	for range s.active {
-		<-s.yield
+	s.active = s.active[:0]
+}
+
+// sortInbox stable-sorts one wake's deliveries by port. The generic
+// sort allocates nothing, unlike the reflective sort.SliceStable,
+// which matters at millions of wakes per run.
+func sortInbox(msgs []congest.Inbound) {
+	if len(msgs) > 1 {
+		slices.SortStableFunc(msgs, func(a, b congest.Inbound) int { return cmp.Compare(a.Port, b.Port) })
 	}
+}
+
+// execShardFiber is exec for fiber mode: each active fiber's
+// Start/Resume runs inline on this worker, its sends drain from the
+// shard's shared context straight into the buckets, and its Park is
+// recorded — no goroutine is woken and none parks.
+func (e *Engine) execShardFiber(i int) {
+	s := &e.shards[i]
+	if len(s.active) == 0 {
+		return
+	}
+	sort.Ints(s.active)
+	fc := &s.fc
 	for _, id := range s.active {
 		nd := &e.nodes[id]
-		y := nd.out
-		nd.out = yieldRec{}
-		for _, om := range y.outbox {
+		nd.queued = false
+		nd.parked = false
+		msgs := nd.inbox
+		nd.inbox = nil
+		sortInbox(msgs)
+		fc.point(id, e.round)
+		park, ok := e.callFiber(nd, fc, msgs)
+		if !ok {
+			// The fiber died mid-call: discard its partial outbox, like
+			// a panicking goroutine discards its unsent messages.
+			for _, om := range fc.outbox {
+				fc.sentN[om.port] = 0
+			}
+			fc.outbox = fc.outbox[:0]
+			e.retire(s, nd)
+			continue
+		}
+		for _, om := range fc.outbox {
 			pos := e.csr.Off[id] + int64(om.port)
 			to := e.csr.To[pos]
 			s.buckets[e.shardOf(int(to))] = append(s.buckets[e.shardOf(int(to))],
 				delivery{to: to, port: e.csr.PeerPort[pos], msg: om.msg})
+			fc.sentN[om.port] = 0
 		}
-		if y.done {
-			nd.done = true
-			s.finished++
+		fc.outbox = fc.outbox[:0]
+		if park == congest.ParkDone {
+			e.retire(s, nd)
 			continue
 		}
-		nd.parked = true
-		nd.target = y.target
-		nd.gen++
-		switch {
-		case y.target == e.round+1:
-			nd.queued = true
-			s.nextActive = append(s.nextActive, id)
-		case y.target < congest.Forever:
-			s.timers = append(s.timers, timerEntry{round: y.target, id: id, gen: nd.gen})
+		target := int64(park)
+		if park == congest.ParkAwait {
+			target = congest.Forever
 		}
+		if target <= e.round {
+			e.fail(fmt.Errorf("parsim: fiber %d parked for round %d at round %d", id, target, e.round))
+			e.retire(s, nd)
+			continue
+		}
+		e.park(s, id, target)
 	}
 	s.active = s.active[:0]
+}
+
+// callFiber runs one Start/Resume under the same panic protocol as a
+// vertex goroutine: errAborted unwinds silently, any other panic
+// fails the run; ok reports whether the fiber survived the call.
+func (e *Engine) callFiber(nd *node, fc *fiberCtx, msgs []congest.Inbound) (park congest.Park, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errAborted { //nolint:errorlint // sentinel identity
+				e.fail(fmt.Errorf("parsim: processor %d panicked: %v", fc.id, r))
+			}
+			park, ok = congest.ParkDone, false
+		}
+	}()
+	if !nd.started {
+		nd.started = true
+		return nd.fib.Start(fc), true
+	}
+	return nd.fib.Resume(fc, msgs), true
+}
+
+// retire marks a fiber finished and releases its program state.
+func (e *Engine) retire(s *shard, nd *node) {
+	nd.done = true
+	nd.fib = nil
+	s.finished++
+}
+
+// settle processes one yielded vertex's outbox and park target
+// (goroutine mode).
+func (e *Engine) settle(s *shard, id int) {
+	nd := &e.nodes[id]
+	gn := &e.gnodes[id]
+	y := gn.out
+	gn.out = yieldRec{}
+	for _, om := range y.outbox {
+		pos := e.csr.Off[id] + int64(om.port)
+		to := e.csr.To[pos]
+		s.buckets[e.shardOf(int(to))] = append(s.buckets[e.shardOf(int(to))],
+			delivery{to: to, port: e.csr.PeerPort[pos], msg: om.msg})
+	}
+	if y.done {
+		nd.done = true
+		s.finished++
+		return
+	}
+	e.park(s, id, y.target)
+}
+
+// park records a vertex's next wake: the immediate ready list for
+// round+1, the calendar for a later deadline, nothing for Forever.
+func (e *Engine) park(s *shard, id int, target int64) {
+	nd := &e.nodes[id]
+	nd.parked = true
+	nd.target = target
+	nd.gen++
+	switch {
+	case target == e.round+1:
+		nd.queued = true
+		s.nextActive = append(s.nextActive, id)
+	case target < congest.Forever:
+		s.timers = append(s.timers, timerEntry{round: target, id: id, gen: nd.gen})
+	}
 }
 
 // deliverShard merges every shard's bucket destined to shard i into
@@ -468,6 +709,76 @@ func (e *Engine) deliverShard(i int) {
 		}
 		e.shards[src].buckets[i] = bucket[:0]
 	}
+}
+
+// deliverShardFiber is deliver for fiber mode: count, then scatter
+// this round's deliveries into the shard's flat arena and hand each
+// vertex a view of its run. Per-port FIFO order still holds — a port
+// has exactly one sender, whose messages sit contiguously in one
+// source bucket in send order — and the exec phase's stable sort by
+// port canonicalizes the rest, so inboxes are byte-identical to the
+// per-vertex-buffer path. What changes is the allocation profile:
+// the arena and scatter arrays are reused every round, so a
+// million-message execution allocates nothing per wake.
+func (e *Engine) deliverShardFiber(i int) {
+	s := &e.shards[i]
+	total := 0
+	for src := range e.shards {
+		bucket := e.shards[src].buckets[i]
+		total += len(bucket)
+		for _, dv := range bucket {
+			idx := int(dv.to) - s.lo
+			if s.cnt[idx] == 0 {
+				s.touched = append(s.touched, int32(idx))
+			}
+			s.cnt[idx]++
+			nd := &e.nodes[dv.to]
+			if nd.parked && !nd.queued && !nd.done {
+				nd.queued = true
+				s.nextActive = append(s.nextActive, int(dv.to))
+			}
+		}
+	}
+	if total == 0 {
+		return
+	}
+	// The arena grows to the widest round seen and stays there:
+	// delivery width is bounded by b×arcs of the shard, and a stable
+	// buffer beats a trimmed one under GC pacing — reallocating
+	// burst-sized buffers every oscillation is what turns a lean live
+	// set into a peak twice its size.
+	if cap(s.inArena) < total {
+		s.inArena = make([]congest.Inbound, total)
+	}
+	arena := s.inArena[:total]
+	off := int32(0)
+	for _, idx := range s.touched {
+		s.start[idx] = off
+		off += s.cnt[idx]
+	}
+	for src := range e.shards {
+		bucket := e.shards[src].buckets[i]
+		for _, dv := range bucket {
+			idx := int(dv.to) - s.lo
+			arena[s.start[idx]] = congest.Inbound{Port: int(dv.port), Msg: dv.msg}
+			s.start[idx]++
+			s.messages++
+			s.byKind[dv.msg.Kind]++
+		}
+		e.shards[src].buckets[i] = bucket[:0]
+	}
+	for _, idx := range s.touched {
+		end := s.start[idx]
+		beg := end - s.cnt[idx]
+		// A done vertex's deliveries count (they did arrive) but are
+		// never read, and a view would pin a trimmed arena.
+		if nd := &e.nodes[s.lo+int(idx)]; !nd.done {
+			nd.inbox = arena[beg:end:end]
+		}
+		s.cnt[idx] = 0
+		s.start[idx] = 0
+	}
+	s.touched = s.touched[:0]
 }
 
 // advance moves the clock to the next round with work: round+1 if any
@@ -526,50 +837,48 @@ func (e *Engine) popTimers(round int64) {
 	}
 }
 
-// drain aborts every still-parked vertex and waits for its goroutine
-// to exit, returning the number of programs drained.
-func (e *Engine) drain() int {
-	finished := 0
+// drain aborts every still-parked vertex goroutine and waits for it to
+// exit. Fiber mode has nothing to unwind: parked fibers are plain
+// structs, dropped wholesale when runLoop clears e.nodes.
+func (e *Engine) drain() {
+	if e.fiberMode {
+		return
+	}
 	for i := range e.shards {
 		s := &e.shards[i]
-		resumed := 0
 		for id := s.lo; id < s.hi; id++ {
 			nd := &e.nodes[id]
 			if nd.done || !nd.parked {
 				continue
 			}
-			nd.ctx.resume <- wake{abort: true}
-			resumed++
-		}
-		for j := 0; j < resumed; j++ {
-			id := <-s.yield
-			e.nodes[id].done = true
-			finished++
+			gn := &e.gnodes[id]
+			gn.abort = true
+			gn.sem.Unlock()
+			s.yieldSem.Lock()
+			nd.done = true
 		}
 	}
-	return finished
 }
 
 func (e *Engine) runNode(c *Ctx, program func(congest.Context)) {
+	gn := &e.gnodes[c.id]
 	s := &e.shards[e.shardOf(c.id)]
 	defer func() {
-		nd := &e.nodes[c.id]
 		if r := recover(); r != nil {
 			if r != errAborted { //nolint:errorlint // sentinel identity
 				e.fail(fmt.Errorf("parsim: processor %d panicked: %v", c.id, r))
 			}
-			nd.out = yieldRec{done: true}
-			s.yield <- c.id
-			return
+			gn.out = yieldRec{done: true}
+		} else {
+			gn.out = yieldRec{done: true, outbox: c.outbox}
 		}
-		nd.out = yieldRec{done: true, outbox: c.outbox}
-		s.yield <- c.id
+		s.yieldSem.Unlock()
 	}()
-	w := <-c.resume
-	if w.abort {
+	gn.sem.Lock() // park until the round-0 release
+	if gn.abort {
 		panic(errAborted)
 	}
-	c.round = w.round
+	c.round = gn.wakeRound
 	program(c)
 }
 

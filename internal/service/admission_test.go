@@ -1,0 +1,133 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestUploadStrictAdmission pins the strict NDJSON upload codec over
+// the HTTP surface. The first two rows are regression pins: an
+// edge-shaped first line used to unmarshal as {"n":0} and store a
+// 0-vertex graph (a one-line upload of an edge "succeeded" as an
+// empty graph), and an unknown edge key ("weight" for "w") used to
+// upload silently as w=1.
+func TestUploadStrictAdmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want []string // substrings the error must carry
+	}{
+		{"edge-shaped header", `{"u":0,"v":1,"w":5}` + "\n",
+			[]string{"line 1", "header", "unknown field"}},
+		{"unknown edge field", `{"n":2}` + "\n" + `{"u":0,"v":1,"weight":9}` + "\n",
+			[]string{"line 2", `unknown field "weight"`}},
+		{"header extra key", `{"n":4,"directed":true}` + "\n",
+			[]string{"line 1", `unknown field "directed"`}},
+		{"header without n", `{}` + "\n" + `{"u":0,"v":1}` + "\n",
+			[]string{"line 1", "must set n"}},
+		{"edge missing endpoint", `{"n":2}` + "\n" + `{"u":0,"w":3}` + "\n",
+			[]string{"line 2", "must set u and v"}},
+		{"two objects on one line", `{"n":2}` + "\n" + `{"u":0,"v":1} {"u":1,"v":0}` + "\n",
+			[]string{"line 2", "trailing data"}},
+		{"second header line", `{"n":3}` + "\n" + `{"n":3}` + "\n",
+			[]string{"line 2", `unknown field "n"`}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out map[string]string
+			code := doJSON(t, http.MethodPost, ts.URL+"/graphs", tc.body, &out)
+			if code != http.StatusBadRequest {
+				t.Fatalf("POST /graphs = %d, want 400 (%v)", code, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out["error"], want) {
+					t.Errorf("error %q missing %q", out["error"], want)
+				}
+			}
+		})
+	}
+}
+
+// TestFiberEngineJob: the fiber engine is a first-class job target —
+// a GHS job on engine "fiber" runs its resumable form through the
+// worker pool and lands the same MST weight as the lockstep default.
+func TestFiberEngineJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var up graphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs", smallNDJSON, &up); code != http.StatusCreated {
+		t.Fatalf("upload = %d", code)
+	}
+	var jv JobView
+	body := `{"graph":"` + up.Graph + `","algorithm":"ghs","engine":"fiber"}`
+	code := doJSON(t, http.MethodPost, ts.URL+"/jobs", body, &jv)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	done := pollJob(t, ts.URL, jv.ID, 30*time.Second)
+	if done.Status != StatusDone || done.Result == nil {
+		t.Fatalf("job ended %q (%+v)", done.Status, done.Error)
+	}
+	if done.Result.Weight != 6 {
+		t.Errorf("weight = %d, want 6", done.Result.Weight)
+	}
+	if done.Engine != "fiber" {
+		t.Errorf("engine = %q, want fiber", done.Engine)
+	}
+}
+
+// TestPatchStrictAdmission pins the strict op codec over PATCH
+// /graphs/{digest}. The first row is a regression pin: a misspelled
+// weight key ("wt") used to patch with the silent default w=1 instead
+// of rejecting the stream.
+func TestPatchStrictAdmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var up graphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs", smallNDJSON, &up); code != http.StatusCreated {
+		t.Fatalf("upload = %d", code)
+	}
+	cases := []struct {
+		name string
+		body string
+		want []string
+	}{
+		{"unknown op field", `{"op":"insert","u":1,"v":3,"wt":9}`,
+			[]string{"line 1", `unknown field "wt"`}},
+		{"weight on delete", `{"op":"delete","u":0,"v":1,"w":9}`,
+			[]string{"line 1", "delete op carries w"}},
+		{"missing endpoint", `{"op":"insert","u":1,"w":9}`,
+			[]string{"line 1", "must set u and v"}},
+		{"second line bad", `{"op":"delete","u":0,"v":1}` + "\n" + `{"op":"insert","u":1,"v":3,"weight":2}`,
+			[]string{"line 2", `unknown field "weight"`}},
+		{"trailing data", `{"op":"delete","u":0,"v":1} x`,
+			[]string{"line 1", "invalid character"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out map[string]string
+			code := doJSON(t, http.MethodPatch, ts.URL+"/graphs/"+up.Graph, tc.body, &out)
+			if code != http.StatusBadRequest {
+				t.Fatalf("PATCH = %d, want 400 (%v)", code, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out["error"], want) {
+					t.Errorf("error %q missing %q", out["error"], want)
+				}
+			}
+		})
+	}
+	// The rejected streams must not have produced a derived graph: the
+	// store still holds exactly the base upload.
+	var stats map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/stats", "", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if got := stats["graphs_stored"].(float64); got != 1 {
+		t.Errorf("graphs_stored = %v after rejected patches, want 1", got)
+	}
+	if got := stats["patches_applied"].(float64); got != 0 {
+		t.Errorf("patches_applied = %v after rejected patches, want 0", got)
+	}
+}

@@ -5,13 +5,13 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 
 	"congestmst"
+	"congestmst/internal/ndjson"
 )
 
 // storedGraph is one uploaded (or patched) graph, addressed by the
@@ -83,27 +83,32 @@ func digestGraph(g *congestmst.Graph) string {
 	return "sha256:" + hex.EncodeToString(h.Sum(nil))
 }
 
-// ndjsonHeader is the required first line of an upload.
+// ndjsonHeader is the required first line of an upload. N is a
+// pointer so a first line without the n key — an edge-shaped line,
+// say — is a 400, not a silently stored 0-vertex graph.
 type ndjsonHeader struct {
-	N int `json:"n"`
+	N *int `json:"n"`
 }
 
-// ndjsonEdge is one edge line of an upload. W is optional (default 1,
-// i.e. unit weights).
+// ndjsonEdge is one edge line of an upload. U and V are required; W
+// is optional (default 1, i.e. unit weights).
 type ndjsonEdge struct {
-	U int    `json:"u"`
-	V int    `json:"v"`
+	U *int   `json:"u"`
+	V *int   `json:"v"`
 	W *int64 `json:"w"`
 }
 
 // parseNDJSON reads an edge-list upload: one JSON object per line, the
 // first `{"n": <vertices>}`, each following line `{"u":.., "v":..,
-// "w":..}`. Blank lines are skipped. The header's vertex count and the
-// running edge count are checked against maxVertices/maxEdges before
-// anything n-sized is allocated — a 40-byte body declaring two billion
-// vertices must be a 400, not an OOM. The edges flow through the same
-// graph.Builder as every generator, so uploads get identical
-// validation (range checks, self-loops, duplicates).
+// "w":..}`. Blank lines are skipped. Lines are decoded strictly — an
+// unknown key (`"weight"` for `"w"`), a missing required key, or
+// trailing data is a line-numbered error, never a defaulted value.
+// The header's vertex count and the running edge count are checked
+// against maxVertices/maxEdges before anything n-sized is allocated —
+// a 40-byte body declaring two billion vertices must be a 400, not an
+// OOM. The edges flow through the same graph.Builder as every
+// generator, so uploads get identical validation (range checks,
+// self-loops, duplicates).
 func parseNDJSON(r io.Reader, maxVertices, maxEdges int64) (*congestmst.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -118,21 +123,27 @@ func parseNDJSON(r io.Reader, maxVertices, maxEdges int64) (*congestmst.Graph, e
 		}
 		if b == nil {
 			var hdr ndjsonHeader
-			if err := json.Unmarshal([]byte(text), &hdr); err != nil {
+			if err := ndjson.DecodeLine([]byte(text), &hdr); err != nil {
 				return nil, fmt.Errorf("line %d: header %q: %w", line, text, err)
 			}
-			if hdr.N < 0 {
-				return nil, fmt.Errorf("line %d: negative vertex count %d", line, hdr.N)
+			if hdr.N == nil {
+				return nil, fmt.Errorf("line %d: header %q must set n, the vertex count", line, text)
 			}
-			if int64(hdr.N) > maxVertices {
-				return nil, fmt.Errorf("line %d: vertex count %d exceeds the limit of %d", line, hdr.N, maxVertices)
+			if *hdr.N < 0 {
+				return nil, fmt.Errorf("line %d: negative vertex count %d", line, *hdr.N)
 			}
-			b = congestmst.NewBuilder(hdr.N)
+			if int64(*hdr.N) > maxVertices {
+				return nil, fmt.Errorf("line %d: vertex count %d exceeds the limit of %d", line, *hdr.N, maxVertices)
+			}
+			b = congestmst.NewBuilder(*hdr.N)
 			continue
 		}
 		var e ndjsonEdge
-		if err := json.Unmarshal([]byte(text), &e); err != nil {
+		if err := ndjson.DecodeLine([]byte(text), &e); err != nil {
 			return nil, fmt.Errorf("line %d: edge %q: %w", line, text, err)
+		}
+		if e.U == nil || e.V == nil {
+			return nil, fmt.Errorf("line %d: edge %q must set u and v", line, text)
 		}
 		if edges++; edges > maxEdges {
 			return nil, fmt.Errorf("line %d: edge count exceeds the limit of %d", line, maxEdges)
@@ -141,7 +152,7 @@ func parseNDJSON(r io.Reader, maxVertices, maxEdges int64) (*congestmst.Graph, e
 		if e.W != nil {
 			w = *e.W
 		}
-		b.AddEdge(e.U, e.V, w)
+		b.AddEdge(*e.U, *e.V, w)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("reading upload: %w", err)

@@ -7,7 +7,7 @@ import (
 
 // TestOptionValidation is the admission table: every malformed option
 // must be rejected with an error naming the option, before any engine
-// spawns, on all three engines alike. Two of these rows are regression
+// spawns, on every engine alike. Two of these rows are regression
 // pins: Root out of range used to surface as a deep
 // "congest: deadlock" after a full (doomed) run, and Bandwidth: -1 was
 // silently accepted.
@@ -29,7 +29,7 @@ func TestOptionValidation(t *testing.T) {
 		{"negative fixed k", Options{Algorithm: ElkinFixedK, FixedK: -4}, "Options.FixedK"},
 		{"negative max rounds", Options{MaxRounds: -5}, "Options.MaxRounds"},
 	}
-	engines := []Engine{Lockstep, Parallel, Cluster}
+	engines := []Engine{Lockstep, Parallel, Cluster, Fiber}
 	for _, eng := range engines {
 		for _, tc := range cases {
 			t.Run(eng.String()+"/"+tc.name, func(t *testing.T) {
