@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve check
+.PHONY: all build fmt vet test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve smoke-trace check
 
 all: check
 
@@ -49,13 +49,20 @@ bench-cluster:
 bench-fiber:
 	$(GO) run ./cmd/mstbench -full -e e13
 
-# The MST job server (HTTP API; see the mstserved section of README.md).
+# The MST job server (HTTP API; see the mstserved section of README.md),
+# with pprof profiling endpoints on for local work.
 serve:
-	$(GO) run ./cmd/mstserved
+	$(GO) run ./cmd/mstserved -pprof
 
 # End-to-end mstserved smoke against a race-built binary: upload,
-# run-to-completion, cache-hit check, mid-run cancel. What CI runs.
+# run-to-completion, cache-hit check, /metrics scrape, mid-run cancel.
+# What CI runs.
 smoke-serve:
 	sh scripts/smoke_mstserved.sh
+
+# End-to-end run-trace smoke: mstrun -trace on a 10^4-vertex grid, then
+# strict NDJSON schema validation. What CI runs.
+smoke-trace:
+	sh scripts/smoke_trace.sh
 
 check: build fmt vet test-short

@@ -25,6 +25,7 @@ func main() {
 	full := flag.Bool("full", false, "run the full-size experiments recorded in EXPERIMENTS.md")
 	only := flag.String("e", "", "comma-separated experiment ids (default: all)")
 	engine := flag.String("engine", "lockstep", "execution engine for the experiments: lockstep | parallel | cluster | fiber (e11, e12 and e13 always measure their own pairs)")
+	traceDir := flag.String("trace", "", "write one NDJSON run trace per experiment run into this directory (created if missing)")
 	flag.Parse()
 	eng, err := congestmst.ParseEngine(*engine)
 	if err != nil {
@@ -32,6 +33,13 @@ func main() {
 		os.Exit(1)
 	}
 	bench.DefaultEngine = eng
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		bench.TraceDir = *traceDir
+	}
 	// Ctrl-C cancels the sweep at the next engine round boundary: the
 	// in-flight run unwinds its goroutines (and the cluster engine its
 	// sockets) instead of the process dying mid-mesh.

@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"congestmst"
+	"congestmst/internal/obs"
 )
 
 func main() {
@@ -53,6 +55,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print the Equation (1) round decomposition (elkin only)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C always cancels")
 		updates   = flag.String("updates", "", "NDJSON edge-op file replayed through the incremental MST layer after the run")
+		traceOut  = flag.String("trace", "", "write an NDJSON run trace (congestmst-trace/v1: per-round and per-phase events) to this file")
 	)
 	flag.Parse()
 	// Ctrl-C (and an optional -timeout) cancel the run through the
@@ -66,14 +69,14 @@ func main() {
 		defer cancel()
 	}
 	if err := run(ctx, *graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
-		*alg, *engine, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics, *updates); err != nil {
+		*alg, *engine, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics, *updates, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mstrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail int, seed uint64,
-	weights, alg, engine string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool, updates string) error {
+	weights, alg, engine string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool, updates, traceOut string) error {
 	g, err := congestmst.GraphSpec{
 		Type: graphType, N: n, M: m, Rows: rows, Cols: cols,
 		Clique: clique, Tail: tail, Seed: seed, Weights: weights,
@@ -105,12 +108,48 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 	if printMetrics {
 		runOpts.Metrics = &met
 	}
+	var tr *obs.Trace
+	var traceFile *os.File
+	if traceOut != "" {
+		traceFile, err = os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		tr = obs.NewTrace(traceFile, obs.TraceMeta{
+			Algorithm: algorithm.String(), Engine: eng.String(),
+			N: g.N(), M: g.M(), Bandwidth: bandwidth,
+		})
+		runOpts.Observer = tr
+	}
 	start := time.Now()
 	res, err := congestmst.RunContext(ctx, g, runOpts)
+	elapsed := time.Since(start)
+	if tr != nil {
+		// On failure the summary carries the partial counters the engine
+		// reached (congestmst.RunError), so an aborted trace still ends
+		// with an honest account.
+		var rounds, messages int64
+		if res != nil {
+			rounds, messages = res.Rounds, res.Messages
+		}
+		var re *congestmst.RunError
+		if errors.As(err, &re) && re.Stats != nil {
+			rounds, messages = re.Stats.Rounds, re.Stats.Messages
+		}
+		ferr := tr.Finish(rounds, messages, elapsed, err)
+		cerr := traceFile.Close()
+		if err == nil {
+			if ferr != nil {
+				return fmt.Errorf("trace %s: %w", traceOut, ferr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("trace %s: %w", traceOut, cerr)
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
 
 	fmt.Printf("graph     : %s n=%d m=%d\n", graphType, g.N(), g.M())
 	fmt.Printf("algorithm : %s (b=%d)\n", algorithm, bandwidth)
@@ -125,6 +164,9 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 	fmt.Printf("mst weight: %d (%d edges, %s)\n", res.Weight, len(res.MSTEdges), check)
 	if res.K > 0 {
 		fmt.Printf("k         : %d\n", res.K)
+	}
+	if traceOut != "" {
+		fmt.Printf("trace     : %s\n", traceOut)
 	}
 	if algorithm == congestmst.Elkin || algorithm == congestmst.ElkinFixedK {
 		fmt.Printf("boruvka   : %d phases\n", res.BoruvkaPhases)

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,24 +51,39 @@ func main() {
 		queueDepth = flag.Int("queue", 64, "admitted-but-not-started job bound (full queue = 503)")
 		cacheSize  = flag.Int("cache", 128, "result cache capacity (entries)")
 		maxGraphs  = flag.Int("max-graphs", 32, "uploaded graph store capacity (LRU)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling data; enable only on trusted networks)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxGraphs); err != nil {
+	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxGraphs, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "mstserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueDepth, cacheSize, maxGraphs int) error {
+func run(addr string, workers, queueDepth, cacheSize, maxGraphs int, pprofOn bool) error {
 	svc := service.New(service.Config{
 		Workers:    workers,
 		QueueDepth: queueDepth,
 		CacheSize:  cacheSize,
 		MaxGraphs:  maxGraphs,
 	})
+	handler := svc.Handler()
+	if pprofOn {
+		// Mount pprof on an explicit outer mux instead of relying on the
+		// DefaultServeMux side effect of importing net/http/pprof, so
+		// the endpoints exist only when the flag asks for them.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -185,6 +185,31 @@ type (
 	Stats = congest.Stats
 )
 
+// Re-exported observability hook (internal/congest, internal/obs): an
+// Options.Observer receives one RoundEvent per played round and one
+// PhaseEvent per Elkin stage boundary from whichever engine runs the
+// program; implementations of the optional ShardObserver / NetObserver
+// extensions additionally receive per-shard workload samples and the
+// Cluster engine's socket-level account. A nil Observer costs nothing.
+// The obs package provides ready-made implementations (obs.Trace, an
+// NDJSON trace sink, and the obs.Registry metrics kit).
+type (
+	// Observer receives engine progress events during a run.
+	Observer = congest.Observer
+	// RoundEvent is one played round (cumulative message count).
+	RoundEvent = congest.RoundEvent
+	// PhaseEvent is one Elkin stage boundary, from the τ root.
+	PhaseEvent = congest.PhaseEvent
+	// ShardObserver optionally receives per-shard workload samples.
+	ShardObserver = congest.ShardObserver
+	// ShardSample is one shard's end-of-run workload account.
+	ShardSample = congest.ShardSample
+	// NetObserver optionally receives the Cluster socket account.
+	NetObserver = congest.NetObserver
+	// NetSample is the Cluster engine's socket-level account.
+	NetSample = congest.NetSample
+)
+
 // Re-exported weight modes.
 const (
 	WeightsDistinct = graph.WeightsDistinct
@@ -305,6 +330,12 @@ type Options struct {
 	// ForestTrace, if non-nil, receives Controlled-GHS phase snapshots
 	// (Elkin and ElkinFixedK only).
 	ForestTrace *ForestTrace
+	// Observer, if non-nil, receives round and phase events while the
+	// run executes (all engines; see the Observer type). Callbacks must
+	// be fast, non-blocking and safe for concurrent use; they must not
+	// perturb the run (statistics stay bit-identical with or without an
+	// observer attached).
+	Observer Observer
 	// Verify selects the post-run check level (default VerifyAuto).
 	Verify VerifyMode
 }
@@ -331,6 +362,35 @@ type Result struct {
 
 // ErrDisconnected is returned for graphs with more than one component.
 var ErrDisconnected = graph.ErrDisconnected
+
+// RunError is the error Run and RunContext return when the selected
+// engine fails mid-run (MaxRounds exceeded, context cancelled,
+// deadlock, bandwidth violation, ...). It carries the partial
+// statistics the engine had accumulated when it aborted, so callers —
+// and error messages — can report how far a failed run got instead of
+// dropping the counters. Unwrap exposes the engine error, so
+// errors.Is(err, context.Canceled) and friends keep working.
+type RunError struct {
+	// Algorithm and Engine identify the aborted run.
+	Algorithm Algorithm
+	Engine    Engine
+	// Stats are the counters at the moment of failure (partial: the
+	// run did not complete). Nil when the engine failed before playing
+	// any round.
+	Stats *Stats
+	// Err is the underlying engine error.
+	Err error
+}
+
+func (e *RunError) Error() string {
+	if e.Stats != nil && (e.Stats.Rounds > 0 || e.Stats.Messages > 0) {
+		return fmt.Sprintf("congestmst: %s (%s): %v (aborted after %d rounds, %d messages)",
+			e.Algorithm, e.Engine, e.Err, e.Stats.Rounds, e.Stats.Messages)
+	}
+	return fmt.Sprintf("congestmst: %s (%s): %v", e.Algorithm, e.Engine, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
 
 // Validate rejects malformed options for a graph on n vertices before
 // any engine is spawned, so a bad Root or a negative knob surfaces as a
@@ -393,6 +453,7 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 			Root:        opts.Root,
 			Metrics:     opts.Metrics,
 			ForestTrace: opts.ForestTrace,
+			Observer:    opts.Observer,
 		}
 		if opts.Algorithm == ElkinFixedK {
 			cfg.FixedK = opts.FixedK
@@ -431,6 +492,7 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 		engine := congest.NewEngine(g, congest.Config{
 			Bandwidth: opts.Bandwidth,
 			MaxRounds: opts.MaxRounds,
+			Observer:  opts.Observer,
 		})
 		stats, err = engine.RunContext(ctx, func(c *congest.Ctx) { program(c) })
 	case Parallel:
@@ -438,6 +500,7 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 			Bandwidth: opts.Bandwidth,
 			MaxRounds: opts.MaxRounds,
 			Workers:   opts.Workers,
+			Observer:  opts.Observer,
 		})
 		stats, err = engine.RunContext(ctx, program)
 	case Fiber:
@@ -445,6 +508,7 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 			Bandwidth: opts.Bandwidth,
 			MaxRounds: opts.MaxRounds,
 			Workers:   opts.Workers,
+			Observer:  opts.Observer,
 		})
 		if factory := fiberProgram(opts, ports); factory != nil {
 			stats, err = engine.RunFiberContext(ctx, factory)
@@ -458,12 +522,13 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 			Bandwidth: opts.Bandwidth,
 			MaxRounds: opts.MaxRounds,
 			Shards:    opts.Shards,
+			Observer:  opts.Observer,
 		}, program)
 	default:
 		return nil, fmt.Errorf("congestmst: unknown engine %v", opts.Engine)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("congestmst: %s (%s): %w", opts.Algorithm, opts.Engine, err)
+		return nil, &RunError{Algorithm: opts.Algorithm, Engine: opts.Engine, Stats: stats, Err: err}
 	}
 	res.Stats = stats
 	res.Rounds = stats.Rounds

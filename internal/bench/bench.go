@@ -12,8 +12,13 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"congestmst"
 	"congestmst/internal/bfstree"
@@ -21,6 +26,7 @@ import (
 	"congestmst/internal/forest"
 	"congestmst/internal/graph"
 	"congestmst/internal/mathx"
+	"congestmst/internal/obs"
 	"congestmst/internal/parsim"
 )
 
@@ -34,6 +40,14 @@ var DefaultEngine = congestmst.Lockstep
 // the next round boundary instead of dying mid-run; tests leave it as
 // Background.
 var BaseContext = context.Background()
+
+// TraceDir, when non-empty (mstbench -trace), makes every runAlg
+// execution write an NDJSON run trace (obs.TraceSchema) to a
+// sequentially numbered file in that directory, named after the
+// algorithm and engine of the run.
+var TraceDir string
+
+var traceSeq atomic.Int64
 
 // Table is one experiment's rendered result.
 type Table struct {
@@ -144,10 +158,52 @@ func tauTraffic(s *congestmst.Stats) int64 {
 }
 
 // runAlg is congestmst.RunContext on the experiment-wide DefaultEngine
-// under BaseContext.
+// under BaseContext, with optional per-run trace capture (TraceDir).
 func runAlg(g *graph.Graph, opts congestmst.Options) (*congestmst.Result, error) {
 	opts.Engine = DefaultEngine
-	return congestmst.RunContext(BaseContext, g, opts)
+	if TraceDir == "" {
+		return congestmst.RunContext(BaseContext, g, opts)
+	}
+	alg := opts.Algorithm
+	if alg == 0 {
+		alg = congestmst.Elkin
+	}
+	bw := opts.Bandwidth
+	if bw == 0 {
+		bw = 1
+	}
+	name := fmt.Sprintf("run-%03d-%s-%s.ndjson", traceSeq.Add(1), alg, opts.Engine)
+	f, err := os.Create(filepath.Join(TraceDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("bench: trace: %w", err)
+	}
+	tr := obs.NewTrace(f, obs.TraceMeta{
+		Algorithm: alg.String(), Engine: opts.Engine.String(),
+		N: g.N(), M: g.M(), Bandwidth: bw,
+	})
+	opts.Observer = tr
+	start := time.Now()
+	res, runErr := congestmst.RunContext(BaseContext, g, opts)
+	var rounds, messages int64
+	if res != nil {
+		rounds, messages = res.Rounds, res.Messages
+	}
+	var re *congestmst.RunError
+	if errors.As(runErr, &re) && re.Stats != nil {
+		rounds, messages = re.Stats.Rounds, re.Stats.Messages
+	}
+	ferr := tr.Finish(rounds, messages, time.Since(start), runErr)
+	cerr := f.Close()
+	if runErr != nil {
+		return res, runErr
+	}
+	if ferr != nil {
+		return nil, fmt.Errorf("bench: trace %s: %w", name, ferr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("bench: trace %s: %w", name, cerr)
+	}
+	return res, nil
 }
 
 // forestRun builds τ (for alignment and n/D discovery) and the base

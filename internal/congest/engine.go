@@ -35,6 +35,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"congestmst/internal/graph"
 )
@@ -50,6 +51,9 @@ type Config struct {
 	// MaxRounds aborts runs that exceed this many rounds (a safety net
 	// against livelocked programs). Zero means 100 million.
 	MaxRounds int64
+	// Observer, when non-nil, receives one RoundEvent per played round
+	// (and the final totals). Nil costs one pointer check per round.
+	Observer Observer
 }
 
 func (c Config) bandwidth() int {
@@ -180,8 +184,21 @@ func (e *Engine) RunContext(ctx context.Context, program func(*Ctx)) (*Stats, er
 		current[v] = v
 	}
 	doneCount := 0
+	obs := e.cfg.Observer
 	for {
+		var roundStart time.Time
+		if obs != nil {
+			roundStart = time.Now()
+		}
 		doneCount += e.playRound(current)
+		if obs != nil && len(current) > 0 {
+			obs.OnRound(RoundEvent{
+				Round:     e.round,
+				Active:    len(current),
+				Messages:  e.stats.Messages,
+				WallNanos: time.Since(roundStart).Nanoseconds(),
+			})
+		}
 		if e.isAborted() {
 			doneCount += e.drain()
 			break
@@ -203,6 +220,12 @@ func (e *Engine) RunContext(ctx context.Context, program func(*Ctx)) (*Stats, er
 		current = next
 	}
 	e.nodes = nil // single use
+	if obs != nil {
+		// The final event pins the cumulative total to Stats.Messages,
+		// so a trace's per-round deltas sum exactly to the run total
+		// even when the run aborted mid-round.
+		obs.OnRound(RoundEvent{Round: e.stats.Rounds, Messages: e.stats.Messages})
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	stats := e.stats

@@ -1,0 +1,118 @@
+package congest
+
+// Observer receives engine progress events while a run executes: one
+// RoundEvent per played round and one PhaseEvent per algorithm phase
+// transition (Elkin variants only). It is the hook every execution
+// engine in this repository shares — internal/congest, internal/parsim
+// (goroutine and fiber modes) and internal/nettrans all emit the same
+// event shapes — so a trace sink or a metrics exporter written against
+// it sees every engine identically.
+//
+// Contract:
+//
+//   - Callbacks must be fast and must not block: they run on the
+//     engine's coordinator (OnRound) or inside a vertex program
+//     (OnPhase), so a slow observer stretches the run it is observing.
+//   - OnRound and OnPhase may be called concurrently from different
+//     goroutines; implementations must be safe for concurrent use.
+//   - Callbacks must not call back into the engine or mutate the run.
+//   - A nil Observer is the fast path: engines check once per round,
+//     so observation costs nothing when disabled.
+//
+// Observers must not perturb the run: every engine emits events
+// outside its message-routing hot path, and the statistics of a run
+// with an observer attached are bit-identical to the same run without
+// one (asserted by the engine-matrix trace tests).
+type Observer interface {
+	// OnRound reports one played round. Events arrive in
+	// non-decreasing Round order; the Messages field is cumulative, so
+	// consecutive events give exact per-round deltas. Engines emit one
+	// final event when the run ends (successfully or not) whose
+	// Messages equals the run's Stats.Messages.
+	OnRound(RoundEvent)
+	// OnPhase reports an algorithm phase transition. Emitted by the
+	// Elkin variants from the τ-root vertex; GHS and Pipeline emit no
+	// phase events.
+	OnPhase(PhaseEvent)
+}
+
+// RoundEvent is one played round as the engine saw it.
+type RoundEvent struct {
+	// Round is the round index just played (starting at 0). Idle
+	// rounds skipped by calendar fast-forward produce no event, so
+	// consecutive events may jump.
+	Round int64
+	// Active is the number of vertices resumed in this round. For the
+	// Cluster engine this is a best-effort global sample (shards
+	// accumulate it concurrently).
+	Active int
+	// Messages is the cumulative count of messages injected up to and
+	// including this round — monotone non-decreasing across events and
+	// equal to Stats.Messages at the final event, so per-round deltas
+	// sum exactly to the run total.
+	Messages int64
+	// WallNanos is the wall-clock time the engine spent playing this
+	// round (0 for events an engine emits only as a final summary).
+	WallNanos int64
+}
+
+// PhaseEvent is one algorithm phase transition, emitted by the τ-root
+// vertex of the Elkin variants.
+type PhaseEvent struct {
+	// Round is the round at which the phase completed.
+	Round int64
+	// Name identifies the stage: "bfs-build", "base-forest",
+	// "register", or "boruvka".
+	Name string
+	// Fragments is the fragment count entering the next stage (|F|
+	// after register, |F̂_j| per Boruvka phase; 0 when unknown).
+	Fragments int
+	// K is the base-forest parameter the run chose (Elkin variants).
+	K int
+}
+
+// ShardObserver is an optional Observer extension: engines that
+// partition vertices into shards (Parallel, Fiber, Cluster) emit one
+// ShardSample per shard at the end of the run, making load skew —
+// busy-time and message imbalance across shards — visible. Engines
+// only pay for the underlying work/idle sampling when the configured
+// Observer implements this interface.
+type ShardObserver interface {
+	OnShardSample(ShardSample)
+}
+
+// ShardSample is one shard's cumulative workload account.
+type ShardSample struct {
+	// Shard is the shard index; Vertices the size of its vertex range.
+	Shard, Vertices int
+	// Execs counts vertex resumptions the shard performed.
+	Execs int64
+	// Messages counts messages delivered into this shard's inboxes.
+	Messages int64
+	// BusyNanos is the wall-clock time the shard spent executing
+	// vertices and merging deliveries (work; the rest of the run is
+	// idle or barrier time).
+	BusyNanos int64
+}
+
+// NetObserver is an optional Observer extension: the Cluster engine
+// emits one NetSample when the run ends, accounting for the TCP
+// transport underneath the CONGEST statistics.
+type NetObserver interface {
+	OnNet(NetSample)
+}
+
+// NetSample is the socket-level account of one Cluster run.
+type NetSample struct {
+	// Sockets is the number of TCP connections the shard mesh held.
+	Sockets int
+	// BytesOut/BytesIn and FramesOut/FramesIn count wire traffic over
+	// every connection (each batch is counted once, at its writing and
+	// at its reading endpoint).
+	BytesOut, BytesIn   int64
+	FramesOut, FramesIn int64
+	// Dials counts connection attempts while the mesh was established;
+	// DialRetries counts the attempts that failed transiently and were
+	// retried.
+	Dials, DialRetries int64
+}

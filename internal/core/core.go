@@ -55,6 +55,12 @@ type Config struct {
 	// Metrics, when non-nil, is filled in by the τ-root vertex with the
 	// per-stage round decomposition of Equation (1).
 	Metrics *Metrics
+	// Observer, when non-nil, receives a PhaseEvent from the τ-root
+	// vertex at every stage boundary — bfs-build, base-forest, register
+	// (with |F|), and one per Boruvka phase (with |F̂_j|) — so a trace
+	// shows where the rounds of a run went while it runs. Callbacks
+	// execute on the root vertex's program goroutine.
+	Observer congest.Observer
 }
 
 // Metrics is the τ-root's account of where rounds went (Equation (1)).
@@ -96,11 +102,17 @@ func Run(ctx congest.Context, cfg Config) *Result {
 		cfg.Metrics.N, cfg.Metrics.Height, cfg.Metrics.K = n, tau.Height, k
 		cfg.Metrics.BuildRounds = ctx.Round()
 	}
+	if o := cfg.Observer; o != nil && tau.Root {
+		o.OnPhase(congest.PhaseEvent{Round: ctx.Round(), Name: "bfs-build", K: k})
+	}
 
 	st := forest.Run(ctx, k, cfg.ForestTrace)
 	forestEnd := ctx.Round()
 	if cfg.Metrics != nil && tau.Root {
 		cfg.Metrics.ForestRounds = forestEnd - cfg.Metrics.BuildRounds
+	}
+	if o := cfg.Observer; o != nil && tau.Root {
+		o.OnPhase(congest.PhaseEvent{Round: forestEnd, Name: "base-forest", K: k})
 	}
 
 	r := &boruvka{
@@ -108,6 +120,7 @@ func Run(ctx congest.Context, cfg Config) *Result {
 		tau:       tau,
 		st:        st,
 		cfg:       cfg,
+		k:         k,
 		coarse:    st.FragID,
 		nbrCoarse: make([]int64, ctx.Degree()),
 		mstPorts:  make(map[int]bool),
@@ -159,12 +172,14 @@ type boruvka struct {
 	tau *bfstree.Tree
 	st  *forest.State
 	cfg Config
+	k   int
 
-	coarse    int64
-	nbrCoarse []int64
-	mstPorts  map[int]bool
-	fragWin   int64 // window length for base-fragment tree operations
-	winner    int   // argmin winner pointer
+	coarse     int64
+	phaseFrags int // |F̂_j| of the last merged phase (τ root only)
+	nbrCoarse  []int64
+	mstPorts   map[int]bool
+	fragWin    int64 // window length for base-fragment tree operations
+	winner     int   // argmin winner pointer
 
 	// τ-root bookkeeping (empty elsewhere).
 	fragLabel  map[int64]int64 // base fragment id -> routing label of its root
@@ -209,6 +224,12 @@ func (r *boruvka) register(k int) {
 	if m := r.cfg.Metrics; m != nil && r.tau.Root {
 		m.RegisterRounds = ctx.Round() - regStart
 	}
+	if o := r.cfg.Observer; o != nil && r.tau.Root {
+		o.OnPhase(congest.PhaseEvent{
+			Round: ctx.Round(), Name: "register",
+			Fragments: len(r.fragLabel), K: r.k,
+		})
+	}
 }
 
 // loop runs Boruvka phases until the τ root announces completion, and
@@ -220,6 +241,12 @@ func (r *boruvka) loop() int {
 		done := r.phase()
 		if m := r.cfg.Metrics; m != nil && r.tau.Root && !done {
 			m.PhaseRounds = append(m.PhaseRounds, r.ctx.Round()-start)
+		}
+		if o := r.cfg.Observer; o != nil && r.tau.Root && !done {
+			o.OnPhase(congest.PhaseEvent{
+				Round: r.ctx.Round(), Name: "boruvka",
+				Fragments: r.phaseFrags, K: r.k,
+			})
 		}
 		if done {
 			return phases
@@ -356,12 +383,15 @@ func (r *boruvka) mergeAtRoot(mins []bfstree.Item) []bfstree.Routed {
 		uf.Union(int(it.Group), int(it.V))
 		chosen[it.Group] = it.U
 	}
-	if m := r.cfg.Metrics; m != nil {
+	if m, o := r.cfg.Metrics, r.cfg.Observer; m != nil || o != nil {
 		count := make(map[int64]bool, len(r.fragCoarse))
 		for _, c := range r.fragCoarse {
 			count[c] = true
 		}
-		m.PhaseFragments = append(m.PhaseFragments, len(count))
+		r.phaseFrags = len(count)
+		if m != nil {
+			m.PhaseFragments = append(m.PhaseFragments, len(count))
+		}
 	}
 	// New identity of a component: the minimum old coarse id inside it.
 	newID := make(map[int]int64)

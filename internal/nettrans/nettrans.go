@@ -73,6 +73,12 @@ type Config struct {
 	// MaxDials bounds the number of concurrent dials while the shard
 	// mesh is established. Zero means 16.
 	MaxDials int
+	// Observer, when non-nil, receives round events (emitted by shard 0
+	// with best-effort global active counts, exact cumulative message
+	// totals at the final event) and, for congest.ShardObserver /
+	// congest.NetObserver implementations, per-shard workload samples
+	// and the socket-level transport account when the run ends.
+	Observer congest.Observer
 }
 
 func (c Config) bandwidth() int {
@@ -195,6 +201,14 @@ type cluster struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 
+	// Socket-level transport counters (always on: one atomic add per
+	// wire batch, not per message) plus the shared round-event
+	// accumulators the shards feed when an Observer is configured.
+	netBytesOut, netBytesIn   atomic.Int64
+	netFramesOut, netFramesIn atomic.Int64
+	dials, dialRetries        atomic.Int64
+	obsActive, obsMessages    atomic.Int64
+
 	mu      sync.Mutex
 	failErr error
 	aborted atomic.Bool
@@ -228,6 +242,13 @@ type shard struct {
 	busyRound int64
 	messages  int64
 	byKind    [256]int64
+
+	// Observability: delivered-message watermark for per-round deltas,
+	// vertex resumptions handled, and (when sampling is armed) the
+	// wall-clock this shard spent executing vertices.
+	prevMessages int64
+	execs        int64
+	busyNanos    int64
 }
 
 func newCluster(ctx context.Context, g *graph.Graph, cfg Config) (*cluster, error) {
@@ -352,7 +373,22 @@ func (c *cluster) connect(ctx context.Context) error {
 			defer dialWG.Done()
 			for i := 0; i < j; i++ {
 				sem <- struct{}{}
-				conn, err := dialer.DialContext(ctx, "tcp", listeners[i].Addr().String())
+				// A transient dial failure (kernel backlog overflow under
+				// a wide mesh, a slow accept) is retried with backoff
+				// before failing the run; the retries are counted so a
+				// flaky transport shows up in the NetSample even when the
+				// mesh eventually comes up.
+				var conn net.Conn
+				var err error
+				for attempt := 0; ; attempt++ {
+					c.dials.Add(1)
+					conn, err = dialer.DialContext(ctx, "tcp", listeners[i].Addr().String())
+					if err == nil || attempt >= 2 || ctx.Err() != nil {
+						break
+					}
+					c.dialRetries.Add(1)
+					time.Sleep(time.Duration(attempt+1) * 25 * time.Millisecond)
+				}
 				if err == nil {
 					var hello [4]byte
 					binary.LittleEndian.PutUint32(hello[:], uint32(j))
@@ -507,6 +543,34 @@ func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*cong
 			stats.ByKind[k] += n
 		}
 	}
+	if obs := c.cfg.Observer; obs != nil {
+		// The final event pins the cumulative total to Stats.Messages:
+		// per-round events are best-effort across concurrently-running
+		// shards, but the aggregate a trace reports is exact.
+		obs.OnRound(congest.RoundEvent{Round: stats.Rounds, Messages: stats.Messages})
+		if so, ok := obs.(congest.ShardObserver); ok {
+			for _, s := range c.shards {
+				so.OnShardSample(congest.ShardSample{
+					Shard:     s.id,
+					Vertices:  s.hi - s.lo,
+					Execs:     s.execs,
+					Messages:  s.messages,
+					BusyNanos: s.busyNanos,
+				})
+			}
+		}
+		if no, ok := obs.(congest.NetObserver); ok {
+			no.OnNet(congest.NetSample{
+				Sockets:     c.sockets(),
+				BytesOut:    c.netBytesOut.Load(),
+				BytesIn:     c.netBytesIn.Load(),
+				FramesOut:   c.netFramesOut.Load(),
+				FramesIn:    c.netFramesIn.Load(),
+				Dials:       c.dials.Load(),
+				DialRetries: c.dialRetries.Load(),
+			})
+		}
+	}
 	return stats, c.err()
 }
 
@@ -516,16 +580,30 @@ func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*cong
 func (s *shard) loop() {
 	c := s.c
 	maxRounds := c.cfg.maxRounds()
+	obs := c.cfg.Observer
+	sample := false
+	if obs != nil {
+		_, sample = obs.(congest.ShardObserver)
+	}
+	var prevActive int64
 	for {
 		if c.aborted.Load() {
 			s.abort()
 			return
 		}
+		var roundStart time.Time
+		if obs != nil {
+			roundStart = time.Now()
+		}
 		wakes := s.wakeSet()
 		if len(wakes) > 0 && s.round > s.busyRound {
 			s.busyRound = s.round
 		}
+		s.execs += int64(len(wakes))
 		s.exec(wakes)
+		if sample {
+			s.busyNanos += time.Since(roundStart).Nanoseconds()
+		}
 		if c.aborted.Load() { // a local program panicked or violated bandwidth
 			s.abort()
 			return
@@ -552,6 +630,26 @@ func (s *shard) loop() {
 				globalNext = b.next
 			}
 			totalLive += int(b.live)
+		}
+		if obs != nil {
+			// Every shard folds its per-round deltas into the shared
+			// accumulators; shard 0 emits the round event. Peers can run
+			// one agreed round ahead of shard 0's read, so Active is a
+			// best-effort sample — the final event in run() pins the
+			// cumulative message total exactly.
+			c.obsActive.Add(int64(len(wakes)))
+			c.obsMessages.Add(s.messages - s.prevMessages)
+			s.prevMessages = s.messages
+			if s.id == 0 {
+				active := c.obsActive.Load()
+				obs.OnRound(congest.RoundEvent{
+					Round:     s.round,
+					Active:    int(active - prevActive),
+					Messages:  c.obsMessages.Load(),
+					WallNanos: time.Since(roundStart).Nanoseconds(),
+				})
+				prevActive = active
+			}
 		}
 		switch {
 		case totalLive == 0:
@@ -707,6 +805,8 @@ func (s *shard) flush(next int64) error {
 		if _, err := s.links[j].conn.Write(s.wbuf); err != nil {
 			return fmt.Errorf("nettrans: shard %d write to shard %d: %w", s.id, j, err)
 		}
+		s.c.netBytesOut.Add(int64(len(s.wbuf)))
+		s.c.netFramesOut.Add(int64(len(s.out[j])))
 		s.out[j] = s.out[j][:0]
 	}
 	return nil
@@ -798,6 +898,10 @@ func (l *link) readLoop(c *cluster) {
 	r := newBatchReader(l.conn)
 	for {
 		b, err := r.read()
+		if err == nil {
+			c.netBytesIn.Add(int64(4 + batchHeaderSize + len(b.msgs)*frameSize))
+			c.netFramesIn.Add(int64(len(b.msgs)))
+		}
 		if err != nil {
 			select {
 			case l.batches <- &batch{err: err}:

@@ -1,0 +1,265 @@
+// Package obs is the repository's zero-dependency observability kit:
+// atomic counters/gauges/histograms with Prometheus text-format
+// exposition (Registry), and a structured NDJSON trace sink (Trace)
+// that plugs into the engines' congest.Observer hook.
+//
+// The hot-path types are safe for concurrent use and never allocate
+// after construction: Counter/Gauge are single atomic words, Histogram
+// observation is one atomic add per bucket boundary crossed plus a CAS
+// loop for the float64 sum. Exposition (WriteTo) takes a registry-level
+// lock only to walk the family list; values are read atomically, so a
+// scrape never blocks an Observe.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable, but counters are normally created via Registry.Counter so
+// they appear in the exposition.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative n panics: counters are monotone by contract.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decreased")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into cumulative buckets, in the
+// Prometheus style: bucket i counts observations <= bounds[i], plus an
+// implicit +Inf bucket, with a running sum and count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits, updated by CAS
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] == bs[i-1] {
+			panic("obs: duplicate histogram bucket bound")
+		}
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns n bucket bounds starting at start, each factor
+// times the previous — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	bs := make([]float64, n)
+	for i := range bs {
+		bs[i] = start
+		start *= factor
+	}
+	return bs
+}
+
+// family is one exposition entry: exactly one of the value sources is
+// set, matching typ.
+type family struct {
+	name, help, typ string
+	counter         *Counter
+	counterFn       func() int64
+	gauge           *Gauge
+	gaugeFn         func() int64
+	hist            *Histogram
+}
+
+// Registry holds named metric families and renders them in the
+// Prometheus text exposition format (version 0.0.4).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[f.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", f.name))
+	}
+	r.byName[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — for pre-existing atomic counters that cannot move.
+// fn must be monotone and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(&family{name: name, help: help, typ: "counter", counterFn: fn})
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time. fn must be
+// safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.register(&family{name: name, help: help, typ: "gauge", gaugeFn: fn})
+}
+
+// Histogram registers and returns a new histogram with the given
+// bucket bounds (an implicit +Inf bucket is always added).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&family{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// WriteTo renders every registered family in the Prometheus text
+// format, in registration order. It implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	cw := &countingWriter{w: w}
+	for _, f := range fams {
+		fmt.Fprintf(cw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(cw, "%s %d\n", f.name, f.counter.Value())
+		case f.counterFn != nil:
+			fmt.Fprintf(cw, "%s %d\n", f.name, f.counterFn())
+		case f.gauge != nil:
+			fmt.Fprintf(cw, "%s %d\n", f.name, f.gauge.Value())
+		case f.gaugeFn != nil:
+			fmt.Fprintf(cw, "%s %d\n", f.name, f.gaugeFn())
+		case f.hist != nil:
+			h := f.hist
+			var cum int64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(cw, "%s_bucket{le=%q} %d\n", f.name, formatFloat(b), cum)
+			}
+			// Read the +Inf bucket rather than h.count so the le
+			// ladder stays cumulative even mid-Observe.
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(cw, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+			fmt.Fprintf(cw, "%s_sum %s\n", f.name, formatFloat(h.Sum()))
+			fmt.Fprintf(cw, "%s_count %d\n", f.name, cum)
+		}
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	return cw.n, cw.err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

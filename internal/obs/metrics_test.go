@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	g := r.Gauge("test_depth", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative counter Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	r.GaugeFunc("queue_depth", "depth", func() int64 { return 3 })
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	c.Add(2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"# HELP jobs_total jobs\n",
+		"# TYPE jobs_total counter\n",
+		"jobs_total 2\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 3\n",
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`latency_seconds_bucket{le="1"} 2` + "\n",
+		`latency_seconds_bucket{le="10"} 2` + "\n",
+		`latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"latency_seconds_sum 100.55\n",
+		"latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, got)
+		}
+	}
+}
+
+func TestHistogramBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(2)
+	h.Observe(3)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 raw count = %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=2 raw count = %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("+Inf raw count = %d, want 1", got)
+	}
+	if h.Count() != 3 || math.Abs(h.Sum()-6) > 1e-12 {
+		t.Errorf("count=%d sum=%g, want 3 and 6", h.Count(), h.Sum())
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	mustPanic(t, "duplicate", func() { r.Counter("dup_total", "x") })
+	mustPanic(t, "invalid", func() { r.Counter("1bad", "x") })
+	mustPanic(t, "invalid", func() { r.Gauge("has space", "x") })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestExpBuckets(t *testing.T) {
+	bs := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(bs[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, bs[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "x")
+	h := r.Histogram("h_seconds", "x", ExpBuckets(0.001, 2, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	for i := 0; i < 20; i++ {
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 || math.Abs(h.Sum()-4000) > 1e-9 {
+		t.Fatalf("hist count=%d sum=%g, want 8000 and 4000", h.Count(), h.Sum())
+	}
+}

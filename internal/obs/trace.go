@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"congestmst/internal/congest"
+	"congestmst/internal/ndjson"
+)
+
+// TraceSchema identifies the NDJSON trace format emitted by Trace.
+// Every trace starts with a header line carrying this string; readers
+// must reject traces with a different schema.
+const TraceSchema = "congestmst-trace/v1"
+
+// TraceMeta describes the run a trace belongs to; it is embedded in
+// the trace's header line.
+type TraceMeta struct {
+	Algorithm string
+	Engine    string
+	N, M      int
+	Bandwidth int
+}
+
+// TraceHeader is the first line of every trace.
+type TraceHeader struct {
+	Type      string `json:"type"` // "header"
+	Schema    string `json:"schema"`
+	Algorithm string `json:"algorithm"`
+	Engine    string `json:"engine"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Bandwidth int    `json:"bandwidth"`
+}
+
+// TraceRound is one engine round event. Messages is cumulative;
+// Delta is the increment since the previous round line, so summing
+// Delta over all round lines yields exactly the run's total message
+// count (the engines' final event pins the last cumulative value to
+// Stats.Messages).
+type TraceRound struct {
+	Type      string `json:"type"` // "round"
+	Round     int64  `json:"round"`
+	Active    int    `json:"active,omitempty"`
+	Messages  int64  `json:"messages"`
+	Delta     int64  `json:"delta"`
+	WallNanos int64  `json:"wall_ns,omitempty"`
+}
+
+// TracePhase is an algorithm phase transition (Elkin variants only).
+type TracePhase struct {
+	Type      string `json:"type"` // "phase"
+	Round     int64  `json:"round"`
+	Name      string `json:"name"`
+	Fragments int    `json:"fragments,omitempty"`
+	K         int    `json:"k,omitempty"`
+}
+
+// TraceShard is one shard's end-of-run workload account (Parallel,
+// Fiber and Cluster engines).
+type TraceShard struct {
+	Type      string `json:"type"` // "shard"
+	Shard     int    `json:"shard"`
+	Vertices  int    `json:"vertices"`
+	Execs     int64  `json:"execs"`
+	Messages  int64  `json:"messages"`
+	BusyNanos int64  `json:"busy_ns"`
+}
+
+// TraceNet is the Cluster engine's socket-level account.
+type TraceNet struct {
+	Type        string `json:"type"` // "net"
+	Sockets     int    `json:"sockets"`
+	BytesOut    int64  `json:"bytes_out"`
+	BytesIn     int64  `json:"bytes_in"`
+	FramesOut   int64  `json:"frames_out"`
+	FramesIn    int64  `json:"frames_in"`
+	Dials       int64  `json:"dials"`
+	DialRetries int64  `json:"dial_retries"`
+}
+
+// TraceSummary is the final line of every trace.
+type TraceSummary struct {
+	Type      string `json:"type"` // "summary"
+	Rounds    int64  `json:"rounds"`
+	Messages  int64  `json:"messages"`
+	WallNanos int64  `json:"wall_ns"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Trace is an NDJSON trace sink implementing congest.Observer (and its
+// ShardObserver/NetObserver extensions). Lines are buffered; call
+// Finish to write the summary line and flush.
+//
+// Trace serializes callbacks with a mutex, so it is safe for the
+// concurrent emission the Cluster engine performs. Write errors are
+// sticky and reported by Finish.
+type Trace struct {
+	mu       sync.Mutex
+	w        *bufio.Writer
+	err      error
+	lastMsgs int64
+	done     bool
+}
+
+// NewTrace starts a trace on w by writing the header line.
+func NewTrace(w io.Writer, meta TraceMeta) *Trace {
+	t := &Trace{w: bufio.NewWriter(w)}
+	t.emit(TraceHeader{
+		Type: "header", Schema: TraceSchema,
+		Algorithm: meta.Algorithm, Engine: meta.Engine,
+		N: meta.N, M: meta.M, Bandwidth: meta.Bandwidth,
+	})
+	return t
+}
+
+func (t *Trace) emit(v any) {
+	if t.err != nil || t.done {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(append(b, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// OnRound implements congest.Observer.
+func (t *Trace) OnRound(e congest.RoundEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delta := e.Messages - t.lastMsgs
+	t.lastMsgs = e.Messages
+	if e.Active == 0 && delta == 0 && e.WallNanos == 0 {
+		return // engines' final event when it adds nothing new
+	}
+	t.emit(TraceRound{
+		Type: "round", Round: e.Round, Active: e.Active,
+		Messages: e.Messages, Delta: delta, WallNanos: e.WallNanos,
+	})
+}
+
+// OnPhase implements congest.Observer.
+func (t *Trace) OnPhase(e congest.PhaseEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(TracePhase{
+		Type: "phase", Round: e.Round, Name: e.Name,
+		Fragments: e.Fragments, K: e.K,
+	})
+}
+
+// OnShardSample implements congest.ShardObserver.
+func (t *Trace) OnShardSample(s congest.ShardSample) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(TraceShard{
+		Type: "shard", Shard: s.Shard, Vertices: s.Vertices,
+		Execs: s.Execs, Messages: s.Messages, BusyNanos: s.BusyNanos,
+	})
+}
+
+// OnNet implements congest.NetObserver.
+func (t *Trace) OnNet(s congest.NetSample) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(TraceNet{
+		Type: "net", Sockets: s.Sockets,
+		BytesOut: s.BytesOut, BytesIn: s.BytesIn,
+		FramesOut: s.FramesOut, FramesIn: s.FramesIn,
+		Dials: s.Dials, DialRetries: s.DialRetries,
+	})
+}
+
+// Finish writes the summary line (rounds/messages of the completed run,
+// total wall time, and the run error if any), flushes the buffer, and
+// returns the first error encountered while writing the trace. The
+// Trace ignores further events after Finish.
+func (t *Trace) Finish(rounds, messages int64, wall time.Duration, runErr error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSummary{
+		Type: "summary", Rounds: rounds, Messages: messages,
+		WallNanos: wall.Nanoseconds(),
+	}
+	if runErr != nil {
+		s.Error = runErr.Error()
+	}
+	t.emit(s)
+	t.done = true
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// ReadTrace strictly parses and validates a trace: the first line must
+// be a header with the current schema, the last a summary, every line
+// must decode into its schema struct with no unknown fields, and the
+// cumulative round message counts must be monotone and telescope to
+// the summary total. It returns the decoded lines (pointers to the
+// Trace* structs) in file order.
+func ReadTrace(r io.Reader) ([]any, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []any
+	var lastCum, deltaSum int64
+	var summary *TraceSummary
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			return nil, fmt.Errorf("obs: trace line %d: empty", lineNo)
+		}
+		if summary != nil {
+			return nil, fmt.Errorf("obs: trace line %d: content after summary", lineNo)
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		var v any
+		switch probe.Type {
+		case "header":
+			v = &TraceHeader{}
+		case "round":
+			v = &TraceRound{}
+		case "phase":
+			v = &TracePhase{}
+		case "shard":
+			v = &TraceShard{}
+		case "net":
+			v = &TraceNet{}
+		case "summary":
+			v = &TraceSummary{}
+		default:
+			return nil, fmt.Errorf("obs: trace line %d: unknown type %q", lineNo, probe.Type)
+		}
+		if err := ndjson.DecodeLine(line, v); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d (%s): %w", lineNo, probe.Type, err)
+		}
+		switch x := v.(type) {
+		case *TraceHeader:
+			if lineNo != 1 {
+				return nil, fmt.Errorf("obs: trace line %d: header not first", lineNo)
+			}
+			if x.Schema != TraceSchema {
+				return nil, fmt.Errorf("obs: trace schema %q, want %q", x.Schema, TraceSchema)
+			}
+		case *TraceRound:
+			if x.Messages < lastCum {
+				return nil, fmt.Errorf("obs: trace line %d: messages %d < previous %d", lineNo, x.Messages, lastCum)
+			}
+			if x.Delta != x.Messages-lastCum {
+				return nil, fmt.Errorf("obs: trace line %d: delta %d, want %d", lineNo, x.Delta, x.Messages-lastCum)
+			}
+			lastCum = x.Messages
+			deltaSum += x.Delta
+		case *TraceSummary:
+			summary = x
+		}
+		if lineNo == 1 {
+			if _, ok := v.(*TraceHeader); !ok {
+				return nil, fmt.Errorf("obs: trace does not start with a header line")
+			}
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lineNo == 0 {
+		return nil, fmt.Errorf("obs: empty trace")
+	}
+	if summary == nil {
+		return nil, fmt.Errorf("obs: trace has no summary line")
+	}
+	if deltaSum != summary.Messages {
+		return nil, fmt.Errorf("obs: round deltas sum to %d, summary says %d", deltaSum, summary.Messages)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"congestmst/internal/congest"
+)
+
+// TestTraceGolden drives the sink through one synthetic run and checks
+// the NDJSON against the schema validator — the golden shape every
+// engine-produced trace must satisfy.
+func TestTraceGolden(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTrace(&sb, TraceMeta{
+		Algorithm: "elkin", Engine: "lockstep", N: 10, M: 20, Bandwidth: 1,
+	})
+	tr.OnPhase(congest.PhaseEvent{Round: 3, Name: "bfs-build", K: 4})
+	tr.OnRound(congest.RoundEvent{Round: 0, Active: 10, Messages: 20, WallNanos: 500})
+	tr.OnRound(congest.RoundEvent{Round: 1, Active: 8, Messages: 33, WallNanos: 400})
+	tr.OnPhase(congest.PhaseEvent{Round: 9, Name: "register", Fragments: 3, K: 4})
+	tr.OnShardSample(congest.ShardSample{Shard: 0, Vertices: 10, Execs: 18, Messages: 33, BusyNanos: 900})
+	tr.OnNet(congest.NetSample{Sockets: 6, BytesOut: 1000, BytesIn: 1000, FramesOut: 33, FramesIn: 33, Dials: 6})
+	tr.OnRound(congest.RoundEvent{Round: 9, Messages: 40}) // engines' final event
+	if err := tr.Finish(9, 40, 2*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v\n---\n%s", err, sb.String())
+	}
+	h, ok := lines[0].(*TraceHeader)
+	if !ok || h.Schema != TraceSchema || h.Algorithm != "elkin" || h.N != 10 {
+		t.Fatalf("bad header %+v", lines[0])
+	}
+	var rounds, phases, shards, nets int
+	var sum *TraceSummary
+	for _, l := range lines {
+		switch x := l.(type) {
+		case *TraceRound:
+			rounds++
+			if x.Delta < 0 {
+				t.Fatalf("negative delta in %+v", x)
+			}
+		case *TracePhase:
+			phases++
+		case *TraceShard:
+			shards++
+		case *TraceNet:
+			nets++
+		case *TraceSummary:
+			sum = x
+		}
+	}
+	if rounds != 3 || phases != 2 || shards != 1 || nets != 1 {
+		t.Fatalf("line mix rounds=%d phases=%d shards=%d nets=%d", rounds, phases, shards, nets)
+	}
+	if sum == nil || sum.Rounds != 9 || sum.Messages != 40 || sum.WallNanos != 2e6 {
+		t.Fatalf("bad summary %+v", sum)
+	}
+}
+
+func TestTraceFinalEventSuppressedWhenRedundant(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTrace(&sb, TraceMeta{Algorithm: "ghs", Engine: "parallel"})
+	tr.OnRound(congest.RoundEvent{Round: 0, Active: 4, Messages: 12, WallNanos: 100})
+	tr.OnRound(congest.RoundEvent{Round: 5, Messages: 12}) // final, nothing new
+	if err := tr.Finish(5, 12, time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), `"type":"round"`); got != 1 {
+		t.Fatalf("%d round lines, want 1 (redundant final suppressed)\n%s", got, sb.String())
+	}
+	if _, err := ReadTrace(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceErrorSummary(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTrace(&sb, TraceMeta{Algorithm: "elkin", Engine: "lockstep"})
+	tr.OnRound(congest.RoundEvent{Round: 0, Active: 2, Messages: 4, WallNanos: 1})
+	if err := tr.Finish(1, 4, time.Millisecond, congest.ErrMaxRounds); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lines[len(lines)-1].(*TraceSummary)
+	if !strings.Contains(sum.Error, "round budget") && sum.Error == "" {
+		t.Fatalf("summary error not recorded: %+v", sum)
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	header := `{"type":"header","schema":"congestmst-trace/v1","algorithm":"ghs","engine":"lockstep","n":1,"m":0,"bandwidth":1}`
+	summary := `{"type":"summary","rounds":1,"messages":0,"wall_ns":1}`
+	cases := map[string]string{
+		"empty":            "",
+		"no header":        summary,
+		"no summary":       header,
+		"unknown type":     header + "\n" + `{"type":"mystery"}` + "\n" + summary,
+		"unknown field":    header + "\n" + `{"type":"round","round":0,"messages":0,"delta":0,"bogus":1}` + "\n" + summary,
+		"non-monotone":     header + "\n" + `{"type":"round","round":0,"messages":5,"delta":5}` + "\n" + `{"type":"round","round":1,"messages":3,"delta":-2}` + "\n" + `{"type":"summary","rounds":2,"messages":3,"wall_ns":1}`,
+		"delta mismatch":   header + "\n" + `{"type":"round","round":0,"messages":5,"delta":4}` + "\n" + `{"type":"summary","rounds":1,"messages":5,"wall_ns":1}`,
+		"sum mismatch":     header + "\n" + `{"type":"round","round":0,"messages":5,"delta":5}` + "\n" + summary,
+		"after summary":    header + "\n" + summary + "\n" + summary,
+		"header not first": `{"type":"round","round":0,"messages":0,"delta":0}` + "\n" + header + "\n" + summary,
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadTrace accepted invalid trace", name)
+		}
+	}
+}

@@ -62,6 +62,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"congestmst/internal/congest"
 	"congestmst/internal/graph"
@@ -78,6 +79,13 @@ type Config struct {
 	MaxRounds int64
 	// Workers is the size of the worker pool. Zero means GOMAXPROCS.
 	Workers int
+	// Observer, when non-nil, receives one RoundEvent per played round
+	// (and the final totals). When it also implements
+	// congest.ShardObserver, the engine samples per-shard busy time and
+	// emits one ShardSample per shard at the end of the run, so load
+	// skew across shards is visible. Nil costs one pointer check per
+	// round; the busy-time sampling is only armed for ShardObservers.
+	Observer congest.Observer
 }
 
 func (c Config) bandwidth() int {
@@ -216,6 +224,13 @@ type shard struct {
 	messages int64
 	byKind   [256]int64
 
+	// Observability: vertex resumptions handled, and (when the
+	// configured Observer implements ShardObserver) wall-clock spent in
+	// this shard's exec and deliver phases. Each shard is touched by
+	// exactly one worker per phase, so plain fields suffice.
+	execs     int64
+	busyNanos int64
+
 	finished int
 }
 
@@ -241,6 +256,12 @@ type Engine struct {
 	round       int64
 	statsRounds int64
 	timers      timerHeap
+
+	// sample arms per-shard busy-time measurement (Observer implements
+	// congest.ShardObserver); lastActive is the wake-set size of the
+	// round just played, recorded for the round event.
+	sample     bool
+	lastActive int
 
 	nworkers int
 	jobs     chan phaseKind
@@ -419,10 +440,32 @@ func (e *Engine) runLoop(ctx context.Context) (*congest.Stats, error) {
 		}
 	}
 
+	obs := e.cfg.Observer
+	if obs != nil {
+		_, e.sample = obs.(congest.ShardObserver)
+	}
 	n := e.g.N()
 	doneCount := 0
 	for n > 0 {
+		var roundStart time.Time
+		if obs != nil {
+			roundStart = time.Now()
+		}
 		doneCount += e.playRound()
+		if obs != nil && e.lastActive > 0 {
+			// The phases barrier in playRound ordered every shard's
+			// counter writes before this read.
+			var cum int64
+			for i := range e.shards {
+				cum += e.shards[i].messages
+			}
+			obs.OnRound(congest.RoundEvent{
+				Round:     e.round,
+				Active:    e.lastActive,
+				Messages:  cum,
+				WallNanos: time.Since(roundStart).Nanoseconds(),
+			})
+		}
 		if e.aborted.Load() {
 			e.drain()
 			break
@@ -450,6 +493,23 @@ func (e *Engine) runLoop(ctx context.Context) (*congest.Stats, error) {
 			stats.ByKind[k] += c
 		}
 	}
+	if obs != nil {
+		// Pin the cumulative total to Stats.Messages (exact even on an
+		// aborted run), then surface per-shard skew.
+		obs.OnRound(congest.RoundEvent{Round: stats.Rounds, Messages: stats.Messages})
+		if so, ok := obs.(congest.ShardObserver); ok {
+			for i := range e.shards {
+				s := &e.shards[i]
+				so.OnShardSample(congest.ShardSample{
+					Shard:     i,
+					Vertices:  s.hi - s.lo,
+					Execs:     s.execs,
+					Messages:  s.messages,
+					BusyNanos: s.busyNanos,
+				})
+			}
+		}
+	}
 	e.nodes = nil // single use; drops every fiber and inbox
 	e.gnodes = nil
 	e.mu.Lock()
@@ -465,6 +525,7 @@ func (e *Engine) playRound() int {
 	for i := range e.shards {
 		total += len(e.shards[i].active)
 	}
+	e.lastActive = total
 	if total == 0 {
 		return 0
 	}
@@ -517,6 +578,13 @@ func (e *Engine) worker() {
 }
 
 func (e *Engine) runShardPhase(ph phaseKind, i int) {
+	var t0 time.Time
+	if e.sample {
+		t0 = time.Now()
+	}
+	if ph == phaseExec {
+		e.shards[i].execs += int64(len(e.shards[i].active))
+	}
 	switch {
 	case ph == phaseDeliver && e.fiberMode:
 		e.deliverShardFiber(i)
@@ -526,6 +594,9 @@ func (e *Engine) runShardPhase(ph phaseKind, i int) {
 		e.execShardFiber(i)
 	default:
 		e.execShard(i)
+	}
+	if e.sample {
+		e.shards[i].busyNanos += time.Since(t0).Nanoseconds()
 	}
 }
 

@@ -93,11 +93,12 @@ type cacheKey struct {
 // status, result, error and the graph reference; everything else is
 // written once at submission.
 type job struct {
-	id   string
-	key  cacheKey
-	req  JobRequest
-	n, m int // graph dimensions, snapshotted so views outlive g
-	opts congestmst.Options
+	id        string
+	key       cacheKey
+	req       JobRequest
+	n, m      int // graph dimensions, snapshotted so views outlive g
+	opts      congestmst.Options
+	submitted time.Time // for the job-latency histogram
 
 	cancel context.CancelFunc
 	ctx    context.Context
@@ -194,6 +195,8 @@ func (j *job) run(s *Server) {
 	start := time.Now()
 	res, err := congestmst.RunContext(ctx, g, j.opts)
 	elapsed := time.Since(start)
+	s.met.jobRunSeconds.Observe(elapsed.Seconds())
+	defer func() { s.met.jobLatencySeconds.Observe(time.Since(j.submitted).Seconds()) }()
 	switch {
 	case err == nil:
 		jr := &JobResult{

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"net/http"
+
+	"congestmst/internal/obs"
+)
+
+// metrics is the server's Prometheus-style exposition: every counter
+// the JSON /stats endpoint reports, republished as mstserved_* metric
+// families, plus the two exposition-only histograms (engine run
+// duration and submit-to-terminal job latency). Counter/gauge families
+// read the server's existing atomics at scrape time — there is one
+// source of truth, so /stats and /metrics can never drift apart.
+type metrics struct {
+	reg *obs.Registry
+	// jobRunSeconds observes the engine wall-clock of each executed
+	// run; jobLatencySeconds the submit-to-terminal latency of every
+	// job, including cache hits and queued cancellations.
+	jobRunSeconds     *obs.Histogram
+	jobLatencySeconds *obs.Histogram
+}
+
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+
+	reg.CounterFunc("mstserved_jobs_submitted_total", "Jobs accepted by POST /jobs (including cache hits).", s.jobsSubmitted.Load)
+	reg.CounterFunc("mstserved_jobs_done_total", "Jobs finished successfully (including cache hits).", s.jobsDone.Load)
+	reg.CounterFunc("mstserved_jobs_failed_total", "Jobs that ended in an engine or verification error.", s.jobsFailed.Load)
+	reg.CounterFunc("mstserved_jobs_canceled_total", "Jobs canceled while queued or running.", s.jobsCanceled.Load)
+	reg.CounterFunc("mstserved_jobs_rejected_total", "Submissions rejected at admission (queue full or shutdown).", s.jobsRejected.Load)
+	reg.CounterFunc("mstserved_cache_served_total", "Submissions answered from the result cache.", s.cacheServed.Load)
+	reg.CounterFunc("mstserved_cache_hits_total", "Result cache lookups that hit.", func() int64 {
+		h, _ := s.cache.counters()
+		return h
+	})
+	reg.CounterFunc("mstserved_cache_misses_total", "Result cache lookups that missed.", func() int64 {
+		_, m := s.cache.counters()
+		return m
+	})
+	reg.CounterFunc("mstserved_patches_applied_total", "PATCH /graphs requests that produced a patched graph.", s.patchesApplied.Load)
+	reg.CounterFunc("mstserved_cache_transferred_total", "Cache lines transferred to patched digests by unchanged repairs.", s.cacheTransferred.Load)
+
+	reg.GaugeFunc("mstserved_jobs_queued", "Jobs admitted and waiting for a worker.", func() int64 {
+		q, _ := s.countByStatus()
+		return int64(q)
+	})
+	reg.GaugeFunc("mstserved_jobs_running", "Jobs currently executing on a worker.", func() int64 {
+		_, r := s.countByStatus()
+		return int64(r)
+	})
+	reg.GaugeFunc("mstserved_workers", "Size of the job worker pool.", func() int64 {
+		return int64(s.cfg.workers())
+	})
+	reg.GaugeFunc("mstserved_queue_capacity", "Admission queue capacity (submissions beyond it get 503).", func() int64 {
+		return int64(s.cfg.queueDepth())
+	})
+	reg.GaugeFunc("mstserved_cache_entries", "Entries in the result cache.", func() int64 {
+		return int64(s.cache.len())
+	})
+	reg.GaugeFunc("mstserved_graphs_stored", "Graphs in the upload store.", func() int64 {
+		return int64(s.graphs.len())
+	})
+
+	return &metrics{
+		reg: reg,
+		jobRunSeconds: reg.Histogram("mstserved_job_run_seconds",
+			"Engine wall-clock duration of executed runs.",
+			obs.ExpBuckets(0.001, 4, 10)), // 1ms .. ~262s
+		jobLatencySeconds: reg.Histogram("mstserved_job_latency_seconds",
+			"Submit-to-terminal latency of jobs (cache hits observe ~0).",
+			obs.ExpBuckets(0.001, 4, 10)),
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WriteTo(w) //nolint:errcheck // client went away
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scrapeMetrics fetches /metrics and returns the body plus the parsed
+// single-value families (histogram series included, keyed by their
+// full sample name without labels).
+func scrapeMetrics(t *testing.T, base string) (string, map[string]float64) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	vals := map[string]float64{}
+	for _, m := range regexp.MustCompile(`(?m)^([a-zA-Z_:][a-zA-Z0-9_:]*) (\S+)$`).FindAllStringSubmatch(body, -1) {
+		if v, err := strconv.ParseFloat(m[2], 64); err == nil {
+			vals[m[1]] = v
+		}
+	}
+	return body, vals
+}
+
+// TestMetricsExposition scrapes /metrics after two identical job
+// submissions (one run, one cache hit) and checks the family
+// inventory, the # TYPE lines, the counter values, and monotonicity
+// across the scrapes.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	body, before := scrapeMetrics(t, ts.URL)
+	wantTypes := map[string]string{
+		"mstserved_jobs_submitted_total":    "counter",
+		"mstserved_jobs_done_total":         "counter",
+		"mstserved_jobs_failed_total":       "counter",
+		"mstserved_jobs_canceled_total":     "counter",
+		"mstserved_jobs_rejected_total":     "counter",
+		"mstserved_cache_served_total":      "counter",
+		"mstserved_cache_hits_total":        "counter",
+		"mstserved_cache_misses_total":      "counter",
+		"mstserved_patches_applied_total":   "counter",
+		"mstserved_cache_transferred_total": "counter",
+		"mstserved_jobs_queued":             "gauge",
+		"mstserved_jobs_running":            "gauge",
+		"mstserved_workers":                 "gauge",
+		"mstserved_queue_capacity":          "gauge",
+		"mstserved_cache_entries":           "gauge",
+		"mstserved_graphs_stored":           "gauge",
+		"mstserved_job_run_seconds":         "histogram",
+		"mstserved_job_latency_seconds":     "histogram",
+	}
+	for name, typ := range wantTypes {
+		want := fmt.Sprintf("# TYPE %s %s\n", name, typ)
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Two identical submissions: the first runs, the second is a cache
+	// hit; both terminate synchronously from the client's perspective
+	// after polling.
+	job := `{"gen":{"type":"ring","n":16},"algorithm":"ghs"}`
+	var v JobView
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", job, &v); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	pollJob(t, ts.URL, v.ID, 30*time.Second)
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", job, &v); code != http.StatusOK {
+		t.Fatalf("second POST /jobs = %d (want cache hit 200)", code)
+	}
+
+	_, after := scrapeMetrics(t, ts.URL)
+	if got := after["mstserved_jobs_submitted_total"]; got != 2 {
+		t.Errorf("jobs_submitted_total = %v, want 2", got)
+	}
+	if got := after["mstserved_jobs_done_total"]; got != 2 {
+		t.Errorf("jobs_done_total = %v, want 2", got)
+	}
+	if got := after["mstserved_cache_served_total"]; got != 1 {
+		t.Errorf("cache_served_total = %v, want 1", got)
+	}
+	if got := after["mstserved_job_run_seconds_count"]; got != 1 {
+		t.Errorf("job_run_seconds_count = %v, want 1 (one executed run)", got)
+	}
+	if got := after["mstserved_job_latency_seconds_count"]; got != 2 {
+		t.Errorf("job_latency_seconds_count = %v, want 2 (run + cache hit)", got)
+	}
+	for name := range wantTypes {
+		key := name
+		if wantTypes[name] == "histogram" {
+			key = name + "_count"
+		}
+		if wantTypes[name] == "counter" || wantTypes[name] == "histogram" {
+			if after[key] < before[key] {
+				t.Errorf("%s decreased across scrapes: %v -> %v", key, before[key], after[key])
+			}
+		}
+	}
+}
+
+// TestStatsUnderConcurrentJobs hammers /stats, /healthz and /metrics
+// while 8 jobs churn through a 2-worker pool — under -race this is the
+// torn-read audit of every gauge the introspection endpoints report.
+func TestStatsUnderConcurrentJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	var wg sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		var v JobView
+		job := fmt.Sprintf(`{"gen":{"type":"ring","n":%d},"algorithm":"ghs"}`, 16+2*i)
+		if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", job, &v); code != http.StatusAccepted {
+			t.Fatalf("POST /jobs = %d", code)
+		}
+		ids[i] = v.ID
+	}
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				doJSON(t, http.MethodGet, ts.URL+"/stats", "", nil)
+				doJSON(t, http.MethodGet, ts.URL+"/healthz", "", nil)
+				scrapeMetrics(t, ts.URL)
+			}
+		}()
+	}
+	for _, id := range ids {
+		pollJob(t, ts.URL, id, 30*time.Second)
+	}
+	close(stop)
+	wg.Wait()
+
+	var stats map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/stats", "", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if got := stats["jobs_done"].(float64); got != 8 {
+		t.Errorf("jobs_done = %v, want 8", got)
+	}
+	if got := stats["queued"].(float64); got != 0 {
+		t.Errorf("queued = %v, want 0 after drain", got)
+	}
+}

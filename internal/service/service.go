@@ -20,6 +20,9 @@
 //	DELETE /jobs/{id}  cancel          → JobView
 //	GET    /healthz                    → {status, queued, running}
 //	GET    /stats                      → counters, cache and pool gauges
+//	GET    /metrics                    → the same counters plus job-duration and
+//	                                     latency histograms, in the Prometheus
+//	                                     text exposition format
 //
 // Execution is a bounded worker pool: Config.Workers runs at most that
 // many engines concurrently, Config.QueueDepth bounds admission (a
@@ -37,6 +40,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"congestmst"
 )
@@ -128,6 +132,7 @@ func (c Config) maxGenEdges() int64 {
 type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
+	met    *metrics
 	graphs *graphStore
 	cache  *lru[cacheKey, *JobResult]
 	// genDigests memoizes generator specs → (digest, n, m) so repeated
@@ -180,6 +185,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.met = newMetrics(s)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for w := 0; w < cfg.workers(); w++ {
 		s.wg.Add(1)
 		go func() {
@@ -436,15 +443,16 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("j%d", s.nextID)
 	jctx, jcancel := context.WithCancel(s.baseCtx)
 	j := &job{
-		id:     id,
-		key:    key,
-		req:    req,
-		n:      gn,
-		m:      gm,
-		opts:   opts,
-		ctx:    jctx,
-		cancel: jcancel,
-		status: StatusQueued,
+		id:        id,
+		key:       key,
+		req:       req,
+		n:         gn,
+		m:         gm,
+		opts:      opts,
+		submitted: time.Now(),
+		ctx:       jctx,
+		cancel:    jcancel,
+		status:    StatusQueued,
 	}
 	if hit != nil {
 		// A cache hit is published already terminal — never observable
@@ -484,6 +492,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		j.cancel()
 		s.cacheServed.Add(1)
 		s.jobsDone.Add(1)
+		s.met.jobLatencySeconds.Observe(time.Since(j.submitted).Seconds())
 		writeJSON(w, http.StatusOK, j.view())
 		return
 	}
@@ -538,6 +547,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.tryCancel() {
 		s.jobsCanceled.Add(1)
+		s.met.jobLatencySeconds.Observe(time.Since(j.submitted).Seconds())
 	}
 	writeJSON(w, http.StatusOK, j.view())
 }
@@ -570,35 +580,67 @@ func (s *Server) countByStatus() (queued, running int) {
 	return queued, running
 }
 
+// statsSnapshot is one coherent reading of every gauge and counter the
+// introspection endpoints report. The pool gauges (queued/running) are
+// counted under the server mutex in a single pass; everything else is
+// an atomic or a lock-protected accessor, so a snapshot taken while
+// jobs churn never exposes a torn value.
+type statsSnapshot struct {
+	queued, running  int
+	hits, misses     int64
+	cacheEntries     int
+	graphsStored     int
+	submitted, done  int64
+	failed, canceled int64
+	rejected, served int64
+	patches, xfer    int64
+}
+
+func (s *Server) snapshot() statsSnapshot {
+	var snap statsSnapshot
+	snap.queued, snap.running = s.countByStatus()
+	snap.hits, snap.misses = s.cache.counters()
+	snap.cacheEntries = s.cache.len()
+	snap.graphsStored = s.graphs.len()
+	snap.submitted = s.jobsSubmitted.Load()
+	snap.done = s.jobsDone.Load()
+	snap.failed = s.jobsFailed.Load()
+	snap.canceled = s.jobsCanceled.Load()
+	snap.rejected = s.jobsRejected.Load()
+	snap.served = s.cacheServed.Load()
+	snap.patches = s.patchesApplied.Load()
+	snap.xfer = s.cacheTransferred.Load()
+	return snap
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	queued, running := s.countByStatus()
+	snap := s.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"queued":  queued,
-		"running": running,
+		"queued":  snap.queued,
+		"running": snap.running,
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	queued, running := s.countByStatus()
-	hits, misses := s.cache.counters()
+	snap := s.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workers":        s.cfg.workers(),
 		"queue_depth":    s.cfg.queueDepth(),
-		"queued":         queued,
-		"running":        running,
-		"jobs_submitted": s.jobsSubmitted.Load(),
-		"jobs_done":      s.jobsDone.Load(),
-		"jobs_failed":    s.jobsFailed.Load(),
-		"jobs_canceled":  s.jobsCanceled.Load(),
-		"jobs_rejected":  s.jobsRejected.Load(),
-		"cache_served":   s.cacheServed.Load(),
-		"cache_entries":  s.cache.len(),
-		"cache_hits":     hits,
-		"cache_misses":   misses,
-		"graphs_stored":  s.graphs.len(),
+		"queued":         snap.queued,
+		"running":        snap.running,
+		"jobs_submitted": snap.submitted,
+		"jobs_done":      snap.done,
+		"jobs_failed":    snap.failed,
+		"jobs_canceled":  snap.canceled,
+		"jobs_rejected":  snap.rejected,
+		"cache_served":   snap.served,
+		"cache_entries":  snap.cacheEntries,
+		"cache_hits":     snap.hits,
+		"cache_misses":   snap.misses,
+		"graphs_stored":  snap.graphsStored,
 
-		"patches_applied":   s.patchesApplied.Load(),
-		"cache_transferred": s.cacheTransferred.Load(),
+		"patches_applied":   snap.patches,
+		"cache_transferred": snap.xfer,
 	})
 }

@@ -1,0 +1,183 @@
+package congestmst_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"congestmst"
+	"congestmst/internal/congest"
+	"congestmst/internal/obs"
+)
+
+// TestObserverTraceMatrix is the observability contract across the
+// whole engine matrix: for every engine × algorithm, (1) attaching an
+// observer leaves Rounds/Messages/ByKind bit-identical to the bare
+// run, and (2) the emitted trace validates against the schema with its
+// per-round message deltas summing exactly to Stats.Messages.
+func TestObserverTraceMatrix(t *testing.T) {
+	g := congestmst.Grid(6, 8, congestmst.GenOptions{Seed: 2})
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
+	}
+	engines := []congestmst.Options{
+		{Engine: congestmst.Lockstep},
+		{Engine: congestmst.Parallel, Workers: 3},
+		{Engine: congestmst.Cluster, Shards: 3},
+		{Engine: congestmst.Fiber, Workers: 3},
+	}
+	for _, base := range engines {
+		for _, alg := range algs {
+			opts := base
+			opts.Algorithm = alg
+			t.Run(fmt.Sprintf("%s/%s", opts.Engine, alg), func(t *testing.T) {
+				bare, err := congestmst.Run(g, opts)
+				if err != nil {
+					t.Fatalf("bare run: %v", err)
+				}
+
+				var buf bytes.Buffer
+				tr := obs.NewTrace(&buf, obs.TraceMeta{
+					Algorithm: alg.String(), Engine: opts.Engine.String(),
+					N: g.N(), M: g.M(), Bandwidth: 1,
+				})
+				obsOpts := opts
+				obsOpts.Observer = tr
+				start := time.Now()
+				res, err := congestmst.Run(g, obsOpts)
+				if err != nil {
+					t.Fatalf("observed run: %v", err)
+				}
+				if err := tr.Finish(res.Rounds, res.Messages, time.Since(start), nil); err != nil {
+					t.Fatalf("trace finish: %v", err)
+				}
+
+				// (1) The observer must not perturb the run.
+				if bare.Rounds != res.Rounds || bare.Messages != res.Messages {
+					t.Errorf("observer perturbed the run: rounds %d→%d, messages %d→%d",
+						bare.Rounds, res.Rounds, bare.Messages, res.Messages)
+				}
+				if *bare.Stats != *res.Stats {
+					t.Errorf("observer perturbed the ByKind counters")
+				}
+
+				// (2) The trace validates; deltas telescope to the total.
+				lines, err := obs.ReadTrace(&buf)
+				if err != nil {
+					t.Fatalf("ReadTrace: %v", err)
+				}
+				var deltaSum int64
+				var rounds, phases, shards, nets int
+				phaseNames := map[string]bool{}
+				for _, l := range lines {
+					switch x := l.(type) {
+					case *obs.TraceRound:
+						rounds++
+						deltaSum += x.Delta
+					case *obs.TracePhase:
+						phases++
+						phaseNames[x.Name] = true
+					case *obs.TraceShard:
+						shards++
+					case *obs.TraceNet:
+						nets++
+					}
+				}
+				if deltaSum != res.Messages {
+					t.Errorf("round deltas sum to %d, Stats.Messages is %d", deltaSum, res.Messages)
+				}
+				if rounds == 0 {
+					t.Errorf("trace has no round events")
+				}
+				elkin := alg == congestmst.Elkin || alg == congestmst.ElkinFixedK
+				if elkin {
+					for _, want := range []string{"bfs-build", "base-forest", "register"} {
+						if !phaseNames[want] {
+							t.Errorf("elkin trace missing phase %q (got %v)", want, phaseNames)
+						}
+					}
+				} else if phases != 0 {
+					t.Errorf("%s emitted %d phase events, want 0", alg, phases)
+				}
+				if opts.Engine != congestmst.Lockstep && shards == 0 {
+					t.Errorf("sharded engine emitted no shard samples")
+				}
+				if opts.Engine == congestmst.Cluster && nets != 1 {
+					t.Errorf("cluster engine emitted %d net samples, want 1", nets)
+				}
+			})
+		}
+	}
+}
+
+// TestRunErrorPartialStats asserts that a MaxRounds-aborted run
+// surfaces the partial counters instead of dropping them: the error is
+// a *RunError carrying non-zero Stats, still unwraps to ErrMaxRounds,
+// and the message reports how far the run got.
+func TestRunErrorPartialStats(t *testing.T) {
+	g := congestmst.Grid(6, 8, congestmst.GenOptions{Seed: 2})
+	engines := []congestmst.Options{
+		{Engine: congestmst.Lockstep},
+		{Engine: congestmst.Parallel, Workers: 3},
+		{Engine: congestmst.Cluster, Shards: 3},
+		{Engine: congestmst.Fiber, Workers: 3},
+	}
+	for _, opts := range engines {
+		opts.Algorithm = congestmst.GHS
+		opts.MaxRounds = 5
+		t.Run(opts.Engine.String(), func(t *testing.T) {
+			_, err := congestmst.Run(g, opts)
+			if err == nil {
+				t.Fatal("run with MaxRounds=5 succeeded")
+			}
+			if !errors.Is(err, congest.ErrMaxRounds) {
+				t.Fatalf("error does not unwrap to ErrMaxRounds: %v", err)
+			}
+			var re *congestmst.RunError
+			if !errors.As(err, &re) {
+				t.Fatalf("error is not a *RunError: %T %v", err, err)
+			}
+			if re.Stats == nil || re.Stats.Rounds == 0 {
+				t.Fatalf("RunError carries no partial stats: %+v", re.Stats)
+			}
+			if !strings.Contains(err.Error(), "aborted after") {
+				t.Errorf("error message lacks the partial-progress context: %q", err.Error())
+			}
+		})
+	}
+}
+
+// TestObserverPartialTraceOnAbort asserts the final-event contract on
+// the failure path: even for an aborted run, the last cumulative round
+// message count equals the partial Stats.Messages, so the trace's
+// summary stays exact.
+func TestObserverPartialTraceOnAbort(t *testing.T) {
+	g := congestmst.Grid(6, 8, congestmst.GenOptions{Seed: 2})
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf, obs.TraceMeta{Algorithm: "ghs", Engine: "lockstep", N: g.N(), M: g.M(), Bandwidth: 1})
+	start := time.Now()
+	_, err := congestmst.Run(g, congestmst.Options{
+		Algorithm: congestmst.GHS, MaxRounds: 5, Observer: tr,
+	})
+	var re *congestmst.RunError
+	if !errors.As(err, &re) || re.Stats == nil {
+		t.Fatalf("expected RunError with partial stats, got %v", err)
+	}
+	if err := tr.Finish(re.Stats.Rounds, re.Stats.Messages, time.Since(start), err); err != nil {
+		t.Fatalf("trace finish: %v", err)
+	}
+	lines, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace on aborted-run trace: %v", err)
+	}
+	sum := lines[len(lines)-1].(*obs.TraceSummary)
+	if sum.Error == "" || !strings.Contains(sum.Error, "aborted after") {
+		t.Errorf("summary lacks the abort context: %+v", sum)
+	}
+	if sum.Messages != re.Stats.Messages {
+		t.Errorf("summary messages %d != partial stats %d", sum.Messages, re.Stats.Messages)
+	}
+}

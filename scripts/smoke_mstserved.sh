@@ -1,9 +1,10 @@
 #!/bin/sh
 # End-to-end smoke for cmd/mstserved against a race-built binary:
 # start the server, upload a graph, run a small job to completion,
-# verify the repeat is a cache hit, then cancel a minute-scale job and
-# require it to die promptly. CI runs this on every push; locally it is
-# `make smoke-serve`.
+# verify the repeat is a cache hit, scrape /metrics and require every
+# metric family with consistent counters, then cancel a minute-scale
+# job and require it to die promptly. CI runs this on every push;
+# locally it is `make smoke-serve`.
 set -eu
 
 ADDR="127.0.0.1:${MSTSERVED_PORT:-8356}"
@@ -50,6 +51,28 @@ echo "ok: job $JOB done, MST weight 6"
 CACHED=$(curl -sf -X POST -d "{\"graph\":\"$DIGEST\",\"algorithm\":\"elkin\"}" "$BASE/jobs" | json_field cached)
 [ "$CACHED" = True ] || [ "$CACHED" = true ] || { echo "FAIL: repeat submission not served from cache"; exit 1; }
 echo "ok: repeat submission was a cache hit"
+
+# Prometheus exposition: every expected family must be present, and the
+# counters must reflect the traffic above (2 submissions, 1 cache hit).
+METRICS=$(curl -sf "$BASE/metrics")
+for FAMILY in \
+    mstserved_jobs_submitted_total mstserved_jobs_done_total \
+    mstserved_jobs_failed_total mstserved_jobs_canceled_total \
+    mstserved_jobs_rejected_total mstserved_cache_served_total \
+    mstserved_cache_hits_total mstserved_cache_misses_total \
+    mstserved_patches_applied_total mstserved_cache_transferred_total \
+    mstserved_jobs_queued mstserved_jobs_running \
+    mstserved_workers mstserved_queue_capacity \
+    mstserved_cache_entries mstserved_graphs_stored \
+    mstserved_job_run_seconds mstserved_job_latency_seconds; do
+    printf '%s\n' "$METRICS" | grep -q "^# TYPE $FAMILY " ||
+        { echo "FAIL: /metrics missing family $FAMILY"; exit 1; }
+done
+SERVED=$(printf '%s\n' "$METRICS" | awk '$1 == "mstserved_cache_served_total" {print $2}')
+[ "$SERVED" = 1 ] || { echo "FAIL: mstserved_cache_served_total=$SERVED, want 1"; exit 1; }
+RUNS=$(printf '%s\n' "$METRICS" | awk '$1 == "mstserved_job_run_seconds_count" {print $2}')
+[ "$RUNS" = 1 ] || { echo "FAIL: mstserved_job_run_seconds_count=$RUNS, want 1"; exit 1; }
+echo "ok: /metrics exposes all families with consistent counters"
 
 # A minute-scale job (path => diameter-bound rounds), cancelled mid-run.
 LONG=$(curl -sf -X POST -d '{"gen":{"type":"path","n":20000},"algorithm":"elkin"}' "$BASE/jobs" | json_field id)

@@ -1,0 +1,57 @@
+#!/bin/sh
+# End-to-end smoke for run tracing: mstrun -trace on a 10^4-vertex grid,
+# then strict validation of the emitted NDJSON — schema header, known
+# line types only, monotone cumulative message counts whose per-round
+# deltas telescope exactly to the summary total. CI runs this on every
+# push; locally it is `make smoke-trace`.
+set -eu
+
+BIN="${TMPDIR:-/tmp}/mstrun-smoke"
+TRACE="${TMPDIR:-/tmp}/mstrun-smoke-trace.ndjson"
+
+go build -o "$BIN" ./cmd/mstrun
+"$BIN" -graph grid -rows 100 -cols 100 -alg elkin -engine parallel -trace "$TRACE" >/dev/null
+echo "ok: traced a 100x100 grid run to $TRACE"
+
+python3 - "$TRACE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+known = {
+    "header": {"type", "schema", "algorithm", "engine", "n", "m", "bandwidth"},
+    "round": {"type", "round", "active", "messages", "delta", "wall_ns"},
+    "phase": {"type", "round", "name", "fragments", "k"},
+    "shard": {"type", "shard", "vertices", "execs", "messages", "busy_ns"},
+    "net": {"type", "sockets", "bytes_out", "bytes_in", "frames_out",
+            "frames_in", "dials", "dial_retries"},
+    "summary": {"type", "rounds", "messages", "wall_ns", "error"},
+}
+lines = [json.loads(l) for l in open(path) if l.strip()]
+assert lines, "empty trace"
+assert lines[0]["type"] == "header", "first line is not a header"
+assert lines[0]["schema"] == "congestmst-trace/v1", lines[0]["schema"]
+assert lines[-1]["type"] == "summary", "last line is not a summary"
+
+last, delta_sum, phases = 0, 0, []
+for i, obj in enumerate(lines):
+    t = obj["type"]
+    assert t in known, f"line {i+1}: unknown type {t!r}"
+    extra = set(obj) - known[t]
+    assert not extra, f"line {i+1}: unknown fields {extra}"
+    if t == "round":
+        assert obj["messages"] >= last, f"line {i+1}: messages not monotone"
+        assert obj["delta"] == obj["messages"] - last, f"line {i+1}: bad delta"
+        last = obj["messages"]
+        delta_sum += obj["delta"]
+    elif t == "phase":
+        phases.append(obj["name"])
+
+summary = lines[-1]
+assert delta_sum == summary["messages"], \
+    f"round deltas sum to {delta_sum}, summary says {summary['messages']}"
+for name in ("bfs-build", "base-forest", "register"):
+    assert name in phases, f"elkin trace missing phase {name!r} (got {phases})"
+print(f"ok: {len(lines)} lines, {summary['rounds']} rounds, "
+      f"{summary['messages']} messages, phases {phases}")
+EOF
+echo "PASS: trace smoke"
