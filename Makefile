@@ -43,11 +43,13 @@ bench-tables:
 bench-cluster:
 	$(GO) run ./cmd/mstbench -e e12
 
-# The E13 fiber-vs-goroutine memory race at full scale (10^5 and 10^6
-# vertices, GHS in both execution modes), emitting BENCH_fiber.json.
-# Budget several minutes and ~4 GB of RAM for the goroutine-mode run.
+# The fiber benches at full scale: E13 (GHS fiber-vs-goroutine memory
+# race at 10^5 and 10^6 vertices) and E14 (all four algorithms at 10^6,
+# worker sweep), regenerating BENCH_fiber.json. Budget hours on one
+# core — E14 runs every algorithm five times at 10^6 vertices — and
+# ~4 GB of RAM for the goroutine-mode baselines.
 bench-fiber:
-	$(GO) run ./cmd/mstbench -full -e e13
+	$(GO) run ./cmd/mstbench -full -e e13,e14
 
 # The MST job server (HTTP API; see the mstserved section of README.md),
 # with pprof profiling endpoints on for local work.

@@ -17,9 +17,9 @@ func longRunGraph(t *testing.T) *Graph {
 }
 
 // cancelAlg picks the algorithm that exercises the engine's own
-// cancellation path: GHS on the Fiber engine (its resumable form is
-// what fiber-mode teardown must release; anything else would fall
-// back to goroutine mode), Elkin everywhere else.
+// cancellation path: GHS on the Fiber engine (the original resumable
+// form; TestFiberCancelElkinAndPipeline covers the step-built ones),
+// Elkin everywhere else.
 func cancelAlg(eng Engine) Algorithm {
 	if eng == Fiber {
 		return GHS
@@ -100,6 +100,52 @@ func TestRunContextDeadlineAllEngines(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 			defer cancel()
 			_, err := RunContext(ctx, g, Options{Engine: eng, Algorithm: cancelAlg(eng)})
+			if err == nil {
+				t.Fatal("deadlined run reported success")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+			}
+			awaitGoroutineBaseline(t, baseline)
+		})
+	}
+}
+
+// TestFiberCancelElkinAndPipeline cancels fiber-mode Elkin and
+// Pipeline runs mid-flight, mirroring the GHS coverage above: their
+// step-built resumable forms park as slab state inside the engine, so
+// teardown must drop that state and unwind only the worker pool — no
+// per-vertex goroutines exist to leak.
+func TestFiberCancelElkinAndPipeline(t *testing.T) {
+	g := longRunGraph(t)
+	g.Connected()
+	for _, alg := range []Algorithm{Elkin, Pipeline} {
+		t.Run(alg.String()+"/cancel", func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ch := make(chan error, 1)
+			go func() {
+				_, err := RunContext(ctx, g, Options{Engine: Fiber, Algorithm: alg})
+				ch <- err
+			}()
+			time.Sleep(100 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-ch:
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("error %v does not wrap context.Canceled", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancelled fiber run did not return")
+			}
+			awaitGoroutineBaseline(t, baseline)
+		})
+		t.Run(alg.String()+"/deadline", func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			_, err := RunContext(ctx, g, Options{Engine: Fiber, Algorithm: alg})
 			if err == nil {
 				t.Fatal("deadlined run reported success")
 			}

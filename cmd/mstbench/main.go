@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mstbench [-full] [-e e1,e5] [-engine lockstep|parallel]
+//	mstbench [-full] [-e e1,e5] [-engine lockstep|parallel] [-workers 1,2,4,8]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -24,7 +25,8 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full-size experiments recorded in EXPERIMENTS.md")
 	only := flag.String("e", "", "comma-separated experiment ids (default: all)")
-	engine := flag.String("engine", "lockstep", "execution engine for the experiments: lockstep | parallel | cluster | fiber (e11, e12 and e13 always measure their own pairs)")
+	engine := flag.String("engine", "lockstep", "execution engine for the experiments: lockstep | parallel | cluster | fiber (e11-e14 always measure their own pairs)")
+	workers := flag.String("workers", "", "comma-separated fiber worker counts for the e14 sweep (default 1,2,4,8)")
 	traceDir := flag.String("trace", "", "write one NDJSON run trace per experiment run into this directory (created if missing)")
 	flag.Parse()
 	eng, err := congestmst.ParseEngine(*engine)
@@ -33,6 +35,14 @@ func main() {
 		os.Exit(1)
 	}
 	bench.DefaultEngine = eng
+	if *workers != "" {
+		sweep, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstbench:", err)
+			os.Exit(1)
+		}
+		bench.WorkerSweep = sweep
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "mstbench:", err)
@@ -50,6 +60,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mstbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWorkers turns a "-workers 1,2,4" list into the e14 sweep.
+func parseWorkers(s string) ([]int, error) {
+	var sweep []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		sweep = append(sweep, w)
+	}
+	return sweep, nil
 }
 
 func run(full bool, only string) error {

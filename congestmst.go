@@ -103,10 +103,12 @@ const (
 	// resumable (state-machine) form run inline on the shard workers,
 	// so a parked vertex is a small struct in the calendar instead of
 	// a goroutine, a stack and a channel — an order of magnitude less
-	// memory than Parallel at 10^6 vertices. Algorithms without a
-	// resumable form (currently everything but GHS) fall back to
-	// goroutine mode for that run; statistics are bit-identical either
-	// way.
+	// memory than Parallel at 10^6 vertices. Every stock algorithm
+	// (Elkin, ElkinFixedK, GHS, Pipeline) has a resumable form; a
+	// custom algorithm without one falls back to goroutine mode for
+	// that run, reported by Stats.FiberFallback and an Observer
+	// PhaseEvent named "goroutine-fallback". Statistics are
+	// bit-identical either way.
 	Fiber
 )
 
@@ -449,18 +451,7 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	var program func(congest.Context)
 	switch opts.Algorithm {
 	case Elkin, ElkinFixedK:
-		cfg := core.Config{
-			Root:        opts.Root,
-			Metrics:     opts.Metrics,
-			ForestTrace: opts.ForestTrace,
-			Observer:    opts.Observer,
-		}
-		if opts.Algorithm == ElkinFixedK {
-			cfg.FixedK = opts.FixedK
-			if cfg.FixedK == 0 {
-				cfg.FixedK = mathx.Max(1, mathx.ISqrtCeil(g.N()))
-			}
-		}
+		cfg := elkinConfig(opts, g.N())
 		program = func(ctx congest.Context) {
 			r := core.Run(ctx, cfg)
 			ports[ctx.ID()] = r.MSTPorts
@@ -510,12 +501,18 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 			Workers:   opts.Workers,
 			Observer:  opts.Observer,
 		})
-		if factory := fiberProgram(opts, ports); factory != nil {
+		if factory := fiberProgram(opts, g.N(), ports, res); factory != nil {
 			stats, err = engine.RunFiberContext(ctx, factory)
 		} else {
-			// No resumable form for this algorithm yet: run the
-			// blocking program on the same engine in goroutine mode.
+			// No resumable form for this algorithm: run the blocking
+			// program on the same engine in goroutine mode, and say so.
+			if o := opts.Observer; o != nil {
+				o.OnPhase(congest.PhaseEvent{Name: "goroutine-fallback"})
+			}
 			stats, err = engine.RunContext(ctx, program)
+			if stats != nil {
+				stats.FiberFallback = true
+			}
 		}
 	case Cluster:
 		stats, err = nettrans.RunContext(ctx, g, nettrans.Config{
@@ -555,16 +552,52 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 }
 
 // fiberProgram returns the resumable (fiber) form of the selected
-// algorithm, writing each vertex's MST ports into ports on
-// completion, or nil when only the blocking form exists — the Fiber
-// engine then falls back to goroutine mode for the run.
-func fiberProgram(opts Options, ports [][]int) func(id int) congest.Fiber {
+// algorithm, writing each vertex's MST ports into ports (and the root
+// vertex's run parameters into res) on completion, or nil when only
+// the blocking form exists — the Fiber engine then falls back to
+// goroutine mode for the run. All four stock algorithms have a fiber
+// form; only out-of-tree Algorithm values return nil.
+func fiberProgram(opts Options, n int, ports [][]int, res *Result) func(id int) congest.Fiber {
 	switch opts.Algorithm {
+	case Elkin, ElkinFixedK:
+		return core.FiberFactory(n, elkinConfig(opts, n), func(id int, r *core.Result) {
+			ports[id] = r.MSTPorts
+			if id == opts.Root {
+				res.K = r.K
+				res.BoruvkaPhases = r.BoruvkaPhases
+			}
+		})
 	case GHS:
-		return ghs.FiberFactory(len(ports), func(id int, mstPorts []int) { ports[id] = mstPorts })
+		return ghs.FiberFactory(n, func(id int, mstPorts []int) { ports[id] = mstPorts })
+	case Pipeline:
+		return pipeline.FiberFactory(n, opts.Root, func(id int, r *pipeline.Result) {
+			ports[id] = r.MSTPorts
+			if id == opts.Root {
+				res.K = r.K
+			}
+		})
 	default:
 		return nil
 	}
+}
+
+// elkinConfig builds the core.Config for an Elkin-variant run; the
+// blocking and fiber paths share it so both resolve FixedK the same
+// way.
+func elkinConfig(opts Options, n int) core.Config {
+	cfg := core.Config{
+		Root:        opts.Root,
+		Metrics:     opts.Metrics,
+		ForestTrace: opts.ForestTrace,
+		Observer:    opts.Observer,
+	}
+	if opts.Algorithm == ElkinFixedK {
+		cfg.FixedK = opts.FixedK
+		if cfg.FixedK == 0 {
+			cfg.FixedK = mathx.Max(1, mathx.ISqrtCeil(n))
+		}
+	}
+	return cfg
 }
 
 // MST computes the unique MST of g with the paper's algorithm under

@@ -11,9 +11,9 @@ import (
 // engineUnderTest configures one non-reference engine of the matrix:
 // Parallel with enough workers to force real cross-shard traffic,
 // Cluster with enough shards to force real cross-socket traffic, and
-// Fiber with the same worker spread (GHS runs its resumable form
-// there; the other algorithms exercise the goroutine fallback on the
-// fiber-selected engine).
+// Fiber with the same worker spread (every stock algorithm now has a
+// resumable form, so the fiber rows run Elkin, ElkinFixedK, GHS and
+// Pipeline as inline state machines — no goroutine fallback).
 var enginesUnderTest = []congestmst.Options{
 	{Engine: congestmst.Parallel, Workers: 3},
 	{Engine: congestmst.Cluster, Shards: 3},
@@ -212,15 +212,17 @@ func TestDegenerateEdgeInputsRejected(t *testing.T) {
 
 // TestEngineMatrixBandwidth repeats a slice of the matrix under
 // CONGEST(b log n) bandwidth to cover the b > 1 accounting paths of
-// every engine — for GHS as well as Elkin, so the fiber engine's
-// per-call send accounting is exercised with real multi-message
-// rounds.
+// every engine and every algorithm, so each fiber form's per-call send
+// accounting is exercised with real multi-message rounds.
 func TestEngineMatrixBandwidth(t *testing.T) {
 	g, err := congestmst.RandomConnected(80, 240, congestmst.GenOptions{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, alg := range []congestmst.Algorithm{congestmst.Elkin, congestmst.GHS} {
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
+	}
+	for _, alg := range algs {
 		for _, b := range []int{2, 4} {
 			lock, err := congestmst.Run(g, congestmst.Options{
 				Algorithm: alg, Bandwidth: b, Engine: congestmst.Lockstep,
@@ -241,6 +243,31 @@ func TestEngineMatrixBandwidth(t *testing.T) {
 						alg, b, opts.Engine, lock.Stats, opts.Engine, got.Stats)
 				}
 			}
+		}
+	}
+}
+
+// TestFiberEngineNoFallback pins the "fiber mode everywhere" contract:
+// under Engine: Fiber, every stock algorithm must run its resumable
+// form — Stats.FiberFallback reports a run that silently degraded to
+// per-vertex goroutines, and no stock algorithm is allowed to.
+func TestFiberEngineNoFallback(t *testing.T) {
+	g, err := congestmst.RandomConnected(64, 192, congestmst.GenOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
+	}
+	for _, alg := range algs {
+		res, err := congestmst.Run(g, congestmst.Options{
+			Algorithm: alg, Engine: congestmst.Fiber, Workers: 2,
+		})
+		if err != nil {
+			t.Fatalf("fiber %s: %v", alg, err)
+		}
+		if res.Stats.FiberFallback {
+			t.Errorf("%s fell back to goroutine mode under Engine: Fiber", alg)
 		}
 	}
 }

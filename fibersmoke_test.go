@@ -7,10 +7,10 @@ import (
 )
 
 // TestFiberEngineLargeGraphSmoke is the scaling smoke for fiber mode:
-// GHS's resumable form on a 10^5-vertex sparse random graph, the
-// regime where goroutine-per-vertex execution starts costing
-// gigabytes. The computed tree is pinned to the Kruskal forest (the
-// auto-verifier skips ground truth above 2^18 edges, so the test
+// each algorithm's resumable form on a 10^5-vertex sparse random
+// graph, the regime where goroutine-per-vertex execution starts
+// costing gigabytes. The computed tree is pinned to the Kruskal forest
+// (the auto-verifier skips ground truth above 2^18 edges, so the test
 // recomputes it explicitly).
 func TestFiberEngineLargeGraphSmoke(t *testing.T) {
 	if testing.Short() {
@@ -21,23 +21,34 @@ func TestFiberEngineLargeGraphSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := congestmst.Run(g, congestmst.Options{
-		Algorithm: congestmst.GHS,
-		Engine:    congestmst.Fiber,
-	})
-	if err != nil {
-		t.Fatalf("fiber GHS: %v", err)
-	}
 	want := g.MSF()
-	if len(res.MSTEdges) != len(want) {
-		t.Fatalf("MST has %d edges, Kruskal %d", len(res.MSTEdges), len(want))
+	wantWeight := g.TotalWeight(want)
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
 	}
-	for i := range want {
-		if res.MSTEdges[i] != want[i] {
-			t.Fatalf("MST edge %d = %d, Kruskal %d", i, res.MSTEdges[i], want[i])
-		}
-	}
-	if w := g.TotalWeight(want); res.Weight != w {
-		t.Fatalf("weight %d, Kruskal %d", res.Weight, w)
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			res, err := congestmst.Run(g, congestmst.Options{
+				Algorithm: alg,
+				Engine:    congestmst.Fiber,
+			})
+			if err != nil {
+				t.Fatalf("fiber %s: %v", alg, err)
+			}
+			if res.Stats.FiberFallback {
+				t.Fatalf("%s fell back to goroutine mode", alg)
+			}
+			if len(res.MSTEdges) != len(want) {
+				t.Fatalf("MST has %d edges, Kruskal %d", len(res.MSTEdges), len(want))
+			}
+			for i := range want {
+				if res.MSTEdges[i] != want[i] {
+					t.Fatalf("MST edge %d = %d, Kruskal %d", i, res.MSTEdges[i], want[i])
+				}
+			}
+			if res.Weight != wantWeight {
+				t.Fatalf("weight %d, Kruskal %d", res.Weight, wantWeight)
+			}
+		})
 	}
 }

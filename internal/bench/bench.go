@@ -1,4 +1,4 @@
-// Package bench defines the reproduction experiments (E1-E13): one per
+// Package bench defines the reproduction experiments (E1-E14): one per
 // claim of the paper plus the engine races, each regenerating a table
 // that EXPERIMENTS.md records. The same definitions back cmd/mstbench
 // and the root-level testing.B benchmarks.
@@ -124,6 +124,7 @@ func All() []Experiment {
 		{"e11", "Engine scaling: parsim vs lockstep up to 10^6 vertices", E11ParsimScaling},
 		{"e12", "Cluster transport: TCP shard mesh vs lockstep", E12ClusterTransport},
 		{"e13", "Fiber memory: resumable vs goroutine vertex programs", E13FiberMemory},
+		{"e14", "Fiber mode everywhere: four algorithms, worker sweep", E14FiberSweep},
 	}
 }
 
@@ -162,7 +163,9 @@ func tauTraffic(s *congestmst.Stats) int64 {
 func runAlg(g *graph.Graph, opts congestmst.Options) (*congestmst.Result, error) {
 	opts.Engine = DefaultEngine
 	if TraceDir == "" {
-		return congestmst.RunContext(BaseContext, g, opts)
+		res, err := congestmst.RunContext(BaseContext, g, opts)
+		noteFallback(res)
+		return res, err
 	}
 	alg := opts.Algorithm
 	if alg == 0 {
@@ -184,6 +187,7 @@ func runAlg(g *graph.Graph, opts congestmst.Options) (*congestmst.Result, error)
 	opts.Observer = tr
 	start := time.Now()
 	res, runErr := congestmst.RunContext(BaseContext, g, opts)
+	noteFallback(res)
 	var rounds, messages int64
 	if res != nil {
 		rounds, messages = res.Rounds, res.Messages

@@ -69,9 +69,10 @@ func (w *heapWatcher) Peak() uint64 {
 	return w.peak
 }
 
-// timedRun executes one Elkin run on the given engine, reporting the
-// result, elapsed seconds and peak sampled heap.
-func timedRun(g *graph.Graph, engine congestmst.Engine) (*congestmst.Result, float64, uint64, error) {
+// timedElkinRun executes one Elkin run on the given engine, reporting
+// the result, elapsed seconds and peak sampled heap. (E13/E14 use the
+// generalised timedRun in fiber.go, which also samples StackInuse.)
+func timedElkinRun(g *graph.Graph, engine congestmst.Engine) (*congestmst.Result, float64, uint64, error) {
 	runtime.GC()
 	w := watchHeap()
 	start := time.Now()
@@ -111,11 +112,11 @@ func E11ParsimScaling(full bool) (*Table, error) {
 		// it is shared by both engines and would otherwise be charged
 		// to whichever run goes first.
 		g.CSR()
-		par, parSec, parPeak, err := timedRun(g, congestmst.Parallel)
+		par, parSec, parPeak, err := timedElkinRun(g, congestmst.Parallel)
 		if err != nil {
 			return nil, fmt.Errorf("parallel n=%d: %w", n, err)
 		}
-		lock, lockSec, lockPeak, err := timedRun(g, congestmst.Lockstep)
+		lock, lockSec, lockPeak, err := timedElkinRun(g, congestmst.Lockstep)
 		if err != nil {
 			return nil, fmt.Errorf("lockstep n=%d: %w", n, err)
 		}

@@ -6,6 +6,12 @@ import (
 	"congestmst/internal/congest"
 )
 
+// Each tree primitive is written once in resumable Step form
+// (SyncBroadcastStep, ConvergeStep, PipelinedUpcastStep,
+// RouteDownStep) and the blocking method is a congest.RunSteps wrapper
+// over it, so the fiber engine and the blocking engines run the same
+// handlers and report bit-identical statistics.
+
 // SyncBroadcast distributes a payload from the root to every vertex and
 // realigns the whole network: every vertex returns at the same round
 // (root send round + Height + 1). Only the root's m is used; its A, B, C
@@ -15,22 +21,37 @@ import (
 // All vertices must enter SyncBroadcast aligned (as Build and the other
 // primitives guarantee on return at the root's initiation points).
 func (t *Tree) SyncBroadcast(m congest.Message) congest.Message {
-	ctx := t.ctx
+	var res congest.Message
+	congest.RunSteps(t.ctx, t.SyncBroadcastStep(t.ctx, m,
+		func(c congest.Context, got congest.Message) congest.Step {
+			res = got
+			return congest.Done()
+		}))
+	return res
+}
+
+// SyncBroadcastStep is the resumable form of SyncBroadcast; then
+// receives the broadcast message.
+func (t *Tree) SyncBroadcastStep(c congest.Context, m congest.Message,
+	then func(c congest.Context, got congest.Message) congest.Step) congest.Step {
 	if t.Root {
 		m.Kind = KindBcast
-		m.D = ctx.Round()
+		m.D = c.Round()
 		for _, p := range t.ChildPorts {
-			ctx.Send(p, m)
+			c.Send(p, m)
 		}
-		waitQuiet(ctx, m.D+t.Height+1)
-		return m
+		return waitQuietStep(c, m.D+t.Height+1, func(c congest.Context) congest.Step {
+			return then(c, m)
+		})
 	}
-	got := recvOne(ctx, KindBcast, t.ParentPort)
-	for _, p := range t.ChildPorts {
-		ctx.Send(p, got)
-	}
-	waitQuiet(ctx, got.D+t.Height+1)
-	return got
+	return recvOneStep(c, KindBcast, t.ParentPort, func(c congest.Context, got congest.Message) congest.Step {
+		for _, p := range t.ChildPorts {
+			c.Send(p, got)
+		}
+		return waitQuietStep(c, got.D+t.Height+1, func(c congest.Context) congest.Step {
+			return then(c, got)
+		})
+	})
 }
 
 // Converge aggregates a 3-word value up the tree with the supplied
@@ -40,22 +61,40 @@ func (t *Tree) SyncBroadcast(m congest.Message) congest.Message {
 // SyncBroadcast, must follow before the tree is reused). Cost: O(Height)
 // rounds, n-1 messages.
 func (t *Tree) Converge(v [3]int64, combine func(a, b [3]int64) [3]int64) [3]int64 {
-	ctx := t.ctx
+	var res [3]int64
+	congest.RunSteps(t.ctx, t.ConvergeStep(t.ctx, v, combine,
+		func(c congest.Context, acc [3]int64) congest.Step {
+			res = acc
+			return congest.Done()
+		}))
+	return res
+}
+
+// ConvergeStep is the resumable form of Converge; then receives the
+// blocking form's result.
+func (t *Tree) ConvergeStep(c congest.Context, v [3]int64, combine func(a, b [3]int64) [3]int64,
+	then func(c congest.Context, acc [3]int64) congest.Step) congest.Step {
 	acc := v
-	for seen := 0; seen < len(t.ChildPorts); {
-		for _, in := range ctx.Recv() {
+	seen := 0
+	var loop congest.Resume
+	loop = func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		for _, in := range msgs {
 			if in.Msg.Kind != KindConv {
-				protocolf("vertex %d: kind %d during Converge", ctx.ID(), in.Msg.Kind)
+				protocolf("vertex %d: kind %d during Converge", c.ID(), in.Msg.Kind)
 			}
 			acc = combine(acc, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C})
 			seen++
 		}
+		if seen < len(t.ChildPorts) {
+			return congest.Await(loop)
+		}
+		if t.Root {
+			return then(c, acc)
+		}
+		c.Send(t.ParentPort, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
+		return then(c, [3]int64{})
 	}
-	if t.Root {
-		return acc
-	}
-	ctx.Send(t.ParentPort, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
-	return [3]int64{}
+	return loop(c, nil)
 }
 
 // Item is one unit of a pipelined min-upcast: an arbitrary group key and
@@ -94,8 +133,21 @@ func itemLess(a, b Item) bool {
 // Ch. 3 used twice by the paper: to register base fragments and to lift
 // per-base-fragment MWOE candidates.
 func (t *Tree) PipelinedUpcast(own []Item) []Item {
-	ctx := t.ctx
-	b := ctx.Bandwidth()
+	var res []Item
+	congest.RunSteps(t.ctx, t.PipelinedUpcastStep(t.ctx, own,
+		func(c congest.Context, results []Item) congest.Step {
+			res = results
+			return congest.Done()
+		}))
+	return res
+}
+
+// PipelinedUpcastStep is the resumable form of PipelinedUpcast; then
+// receives the blocking form's result (per-group minima at the root,
+// nil elsewhere).
+func (t *Tree) PipelinedUpcastStep(c congest.Context, own []Item,
+	then func(c congest.Context, results []Item) congest.Step) congest.Step {
+	b := c.Bandwidth()
 
 	sort.Slice(own, func(i, j int) bool { return itemLess(own[i], own[j]) })
 	ownIdx := 0
@@ -135,7 +187,7 @@ func (t *Tree) PipelinedUpcast(own []Item) []Item {
 		}
 		return best, have, exhausted
 	}
-	consume := func(it Item) {
+	consume := func(c congest.Context, it Item) {
 		if ownIdx < len(own) && own[ownIdx] == it {
 			ownIdx++
 			return
@@ -146,17 +198,43 @@ func (t *Tree) PipelinedUpcast(own []Item) []Item {
 				return
 			}
 		}
-		protocolf("vertex %d: consumed item not found", ctx.ID())
+		protocolf("vertex %d: consumed item not found", c.ID())
 	}
 
-	for {
+	var iterate func(c congest.Context) congest.Step
+	wake := func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		for _, in := range msgs {
+			i, isChild := childIdx[in.Port]
+			if !isChild {
+				protocolf("vertex %d: upcast message from non-child port %d", c.ID(), in.Port)
+			}
+			switch in.Msg.Kind {
+			case KindUp:
+				it := Item{Group: in.Msg.A, W: in.Msg.B, U: in.Msg.C, V: in.Msg.D}
+				if n := len(bufs[i]); n > 0 && !itemLess(bufs[i][n-1], it) {
+					protocolf("vertex %d: child stream not sorted", c.ID())
+				}
+				bufs[i] = append(bufs[i], it)
+			case KindUpDone:
+				if done[i] {
+					protocolf("vertex %d: duplicate UpDone from port %d", c.ID(), in.Port)
+				}
+				done[i] = true
+				doneCount++
+			default:
+				protocolf("vertex %d: kind %d during upcast", c.ID(), in.Msg.Kind)
+			}
+		}
+		return iterate(c)
+	}
+	iterate = func(c congest.Context) congest.Step {
 		sent := 0
 		for sent < b {
 			it, ok, _ := next()
 			if !ok {
 				break
 			}
-			consume(it)
+			consume(c, it)
 			if emitted[it.Group] {
 				continue // a heavier duplicate for an emitted group
 			}
@@ -165,51 +243,34 @@ func (t *Tree) PipelinedUpcast(own []Item) []Item {
 				results = append(results, it)
 				continue // root-side recording is free
 			}
-			ctx.Send(t.ParentPort, congest.Message{Kind: KindUp, A: it.Group, B: it.W, C: it.U, D: it.V})
+			c.Send(t.ParentPort, congest.Message{Kind: KindUp, A: it.Group, B: it.W, C: it.U, D: it.V})
 			sent++
 		}
 		_, pending, exhausted := next()
 		if exhausted && doneCount == len(t.ChildPorts) {
 			if t.Root {
-				return results
+				return then(c, results)
 			}
 			if sent >= b {
-				ctx.Step() // bandwidth refresh before the marker
+				// Bandwidth refresh before the marker; anything that
+				// round delivers is dropped, exactly like the blocking
+				// form's discarded ctx.Step().
+				return congest.Until(c.Round()+1, func(c congest.Context, _ []congest.Inbound) congest.Step {
+					c.Send(t.ParentPort, congest.Message{Kind: KindUpDone})
+					return then(c, nil)
+				})
 			}
-			ctx.Send(t.ParentPort, congest.Message{Kind: KindUpDone})
-			return nil
+			c.Send(t.ParentPort, congest.Message{Kind: KindUpDone})
+			return then(c, nil)
 		}
 		// Block for more input if nothing is pending locally; otherwise
 		// just let the next round start so bandwidth refreshes.
-		var msgs []congest.Inbound
 		if pending {
-			msgs = ctx.Step()
-		} else {
-			msgs = ctx.Recv()
+			return congest.Until(c.Round()+1, wake)
 		}
-		for _, in := range msgs {
-			i, isChild := childIdx[in.Port]
-			if !isChild {
-				protocolf("vertex %d: upcast message from non-child port %d", ctx.ID(), in.Port)
-			}
-			switch in.Msg.Kind {
-			case KindUp:
-				it := Item{Group: in.Msg.A, W: in.Msg.B, U: in.Msg.C, V: in.Msg.D}
-				if n := len(bufs[i]); n > 0 && !itemLess(bufs[i][n-1], it) {
-					protocolf("vertex %d: child stream not sorted", ctx.ID())
-				}
-				bufs[i] = append(bufs[i], it)
-			case KindUpDone:
-				if done[i] {
-					protocolf("vertex %d: duplicate UpDone from port %d", ctx.ID(), in.Port)
-				}
-				done[i] = true
-				doneCount++
-			default:
-				protocolf("vertex %d: kind %d during upcast", ctx.ID(), in.Msg.Kind)
-			}
-		}
+		return congest.Await(wake)
 	}
+	return iterate(c)
 }
 
 // Routed is one payload of a routed downcast, addressed by the routing
@@ -230,20 +291,32 @@ type Routed struct {
 // Only the root's argument is consulted. All vertices must enter
 // RouteDown aligned.
 func (t *Tree) RouteDown(pairs []Routed) []Routed {
-	ctx := t.ctx
-	b := int64(ctx.Bandwidth())
+	var res []Routed
+	congest.RunSteps(t.ctx, t.RouteDownStep(t.ctx, pairs,
+		func(c congest.Context, mine []Routed) congest.Step {
+			res = mine
+			return congest.Done()
+		}))
+	return res
+}
+
+// RouteDownStep is the resumable form of RouteDown; then receives the
+// pairs addressed to this vertex.
+func (t *Tree) RouteDownStep(c congest.Context, pairs []Routed,
+	then func(c congest.Context, mine []Routed) congest.Step) congest.Step {
+	b := int64(c.Bandwidth())
 	queues := make([][]congest.Message, len(t.ChildPorts))
 	qHead := make([]int, len(t.ChildPorts))
 	var mine []Routed
 
-	enqueue := func(r Routed) {
+	enqueue := func(c congest.Context, r Routed) {
 		if r.Target == t.Lo {
 			mine = append(mine, r)
 			return
 		}
 		i := t.childFor(r.Target)
 		if i < 0 {
-			protocolf("vertex %d: no route to label %d", ctx.ID(), r.Target)
+			protocolf("vertex %d: no route to label %d", c.ID(), r.Target)
 		}
 		queues[i] = append(queues[i], congest.Message{Kind: KindRoute, A: r.Target, B: r.A, C: r.B})
 	}
@@ -252,23 +325,47 @@ func (t *Tree) RouteDown(pairs []Routed) []Routed {
 	flushed := t.Root
 	if t.Root {
 		for _, r := range pairs {
-			enqueue(r)
+			enqueue(c, r)
 		}
 		// Store-and-forward pipelining on a tree: every packet is
 		// delayed by at most Height hops plus the queueing of the
 		// other packets and the marker, ceil((|pairs|+1)/b) rounds.
-		deadline = ctx.Round() + t.Height + (int64(len(pairs))+b)/b + 2
+		deadline = c.Round() + t.Height + (int64(len(pairs))+b)/b + 2
 		for i := range queues {
 			queues[i] = append(queues[i], congest.Message{Kind: KindRouteFlush, A: deadline})
 		}
 	}
 
-	for {
+	var iterate func(c congest.Context) congest.Step
+	wake := func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		for _, in := range msgs {
+			if in.Port != t.ParentPort {
+				protocolf("vertex %d: downcast message from non-parent port %d", c.ID(), in.Port)
+			}
+			switch in.Msg.Kind {
+			case KindRoute:
+				enqueue(c, Routed{Target: in.Msg.A, A: in.Msg.B, B: in.Msg.C})
+			case KindRouteFlush:
+				if flushed {
+					protocolf("vertex %d: duplicate flush", c.ID())
+				}
+				flushed = true
+				deadline = in.Msg.A
+				for i := range queues {
+					queues[i] = append(queues[i], congest.Message{Kind: KindRouteFlush, A: deadline})
+				}
+			default:
+				protocolf("vertex %d: kind %d during downcast", c.ID(), in.Msg.Kind)
+			}
+		}
+		return iterate(c)
+	}
+	iterate = func(c congest.Context) congest.Step {
 		backlog := false
 		for i, p := range t.ChildPorts {
 			var sent int64
 			for qHead[i] < len(queues[i]) && sent < b {
-				ctx.Send(p, queues[i][qHead[i]])
+				c.Send(p, queues[i][qHead[i]])
 				qHead[i]++
 				sent++
 			}
@@ -277,34 +374,14 @@ func (t *Tree) RouteDown(pairs []Routed) []Routed {
 			}
 		}
 		if flushed && !backlog {
-			waitQuiet(ctx, deadline)
-			return mine
+			return waitQuietStep(c, deadline, func(c congest.Context) congest.Step {
+				return then(c, mine)
+			})
 		}
-		var msgs []congest.Inbound
 		if backlog {
-			msgs = ctx.Step()
-		} else {
-			msgs = ctx.Recv()
+			return congest.Until(c.Round()+1, wake)
 		}
-		for _, in := range msgs {
-			if in.Port != t.ParentPort {
-				protocolf("vertex %d: downcast message from non-parent port %d", ctx.ID(), in.Port)
-			}
-			switch in.Msg.Kind {
-			case KindRoute:
-				enqueue(Routed{Target: in.Msg.A, A: in.Msg.B, B: in.Msg.C})
-			case KindRouteFlush:
-				if flushed {
-					protocolf("vertex %d: duplicate flush", ctx.ID())
-				}
-				flushed = true
-				deadline = in.Msg.A
-				for i := range queues {
-					queues[i] = append(queues[i], congest.Message{Kind: KindRouteFlush, A: deadline})
-				}
-			default:
-				protocolf("vertex %d: kind %d during downcast", ctx.ID(), in.Msg.Kind)
-			}
-		}
+		return congest.Await(wake)
 	}
+	return iterate(c)
 }

@@ -78,6 +78,13 @@ type Stats struct {
 	Messages int64
 	// ByKind counts delivered Messages per Message.Kind.
 	ByKind [256]int64
+	// FiberFallback reports that the run was requested on the Fiber
+	// engine but the algorithm had no fiber form, so it executed as
+	// per-vertex goroutines on the same engine instead. Stock
+	// algorithms all have fiber forms; this only fires for custom
+	// programs, and the facade pairs it with a "goroutine-fallback"
+	// PhaseEvent so the degradation is observable rather than silent.
+	FiberFallback bool
 }
 
 // Errors produced by the engine.

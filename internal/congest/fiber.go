@@ -22,7 +22,30 @@ package congest
 // conversion — Step becomes ParkUntil(Round()+1), Recv becomes
 // ParkAwait, RecvUntil(t) becomes ParkUntil(t), and the messages those
 // calls would return arrive as Resume's msgs argument — produces
-// bit-identical Rounds, Messages and per-kind statistics.
+// bit-identical Rounds, Messages and per-kind statistics. Every stock
+// algorithm in this repository ships in fiber form (GHS directly, the
+// Elkin variants and Pipeline through the Step kit in task.go), so the
+// contract is exercised well beyond GHS's two-state machine.
+//
+// Park-target lifecycle, which multi-phase algorithms (Elkin's
+// fragment phases, Pipeline's upcast/flood) lean on far harder than
+// GHS does:
+//
+//   - Parks are single-shot. Each Start/Resume return is a fresh
+//     decision; the engine remembers nothing from earlier parks. In
+//     particular, a delivery wakes a ParkUntil(r) fiber before round r
+//     and the old deadline is gone — a fiber still inside a
+//     fixed-length window (the blocking RecvUntil loop pattern) must
+//     re-issue ParkUntil(r) from Resume until Round() reaches r.
+//   - ParkUntil targets are absolute round numbers and must exceed the
+//     round current at the moment Resume returns — not the round the
+//     deadline was first computed in. Phase programs therefore compute
+//     an end round once (end := c.Round()+h) and re-park to that same
+//     absolute end; the engine rejects a stale target (target ≤
+//     current round) as a contract violation and fails the run.
+//   - ParkAwait has no deadline to go stale and may be re-issued
+//     freely; a fiber that never parks Done and is never woken again
+//     deadlocks the run exactly as a blocking Recv would.
 type Fiber interface {
 	// Start runs the program's round-0 prologue (what a blocking
 	// program does before its first Step/Recv) and returns the first

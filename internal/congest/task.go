@@ -1,0 +1,107 @@
+package congest
+
+// This file is the resumable-program kit: a continuation-passing
+// representation of vertex programs that runs unchanged under both the
+// blocking Context API (RunSteps) and the Fiber engine (StepFiber).
+// Algorithms written once in Step form therefore produce bit-identical
+// Rounds/Messages/ByKind statistics in every execution mode by
+// construction — there is a single copy of each message handler, and
+// the two drivers differ only in who owns the scheduling loop.
+//
+// The translation from a blocking program is mechanical:
+//
+//	msgs := c.Recv()        →  return Await(k)       // k receives msgs
+//	msgs := c.RecvUntil(t)  →  return Until(t, k)
+//	msgs := c.Step()        →  return Until(c.Round()+1, k)
+//	return                  →  return Done()
+//
+// Step() and RecvUntil(Round()+1) are equivalent on every Context
+// implementation in this repository (lockstep, parsim goroutine,
+// cluster), so the kit needs only two park shapes plus Done.
+//
+// Continuations receive the live Context as a parameter and must use
+// that value, never one captured before a park: fiber engines hand out
+// a per-shard Context that is re-pointed between wakes, so a captured
+// Context silently aliases another vertex. Capturing plain data
+// (counters, buffers, the algorithm's own state) across parks is the
+// whole point and is always safe.
+
+// Resume is one continuation of a resumable program: it is handed the
+// live Context and the messages that woke the program (nil on a bare
+// deadline expiry) and returns the next Step.
+type Resume func(c Context, msgs []Inbound) Step
+
+// Step is a park decision paired with the continuation to run when the
+// program next wakes. The zero Step is invalid; construct one with
+// Done, Await or Until.
+type Step struct {
+	park Park
+	next Resume
+}
+
+// Done retires the program: the algorithm finished.
+func Done() Step { return Step{park: ParkDone} }
+
+// Await parks until some future round delivers a message (Recv).
+func Await(next Resume) Step { return Step{park: ParkAwait, next: next} }
+
+// Until parks until round r, or until the first earlier round that
+// delivers a message (RecvUntil). r must exceed the current round;
+// Until(c.Round()+1, k) is Step.
+func Until(r int64, next Resume) Step { return Step{park: ParkUntil(r), next: next} }
+
+// RunSteps drives a Step program to completion over the blocking
+// Context API. It is the compatibility shim that lets one Step-form
+// algorithm serve as both the blocking program (goroutine, lockstep
+// and cluster engines) and the fiber program (via StepFiber).
+func RunSteps(c Context, s Step) {
+	for s.park != ParkDone {
+		var msgs []Inbound
+		if s.park == ParkAwait {
+			msgs = c.Recv()
+		} else {
+			msgs = c.RecvUntil(int64(s.park))
+		}
+		s = s.next(c, msgs)
+	}
+}
+
+// StepFiber adapts a Step program to the Fiber interface: Boot runs the
+// round-0 prologue and each engine wake feeds the stored continuation.
+// The struct is two words plus the boot closure, so a slab of them is
+// the "no goroutine, no stack" representation the fiber engine wants.
+type StepFiber struct {
+	// Boot builds the program's first Step (what a blocking program
+	// does before its first Recv/RecvUntil). It may read the vertex's
+	// identity and degree from the Context it is handed, so one shared
+	// closure serves every vertex in a slab.
+	Boot func(c Context) Step
+	next Resume
+}
+
+func (f *StepFiber) Start(c Context) Park {
+	s := f.Boot(c)
+	f.Boot = nil
+	f.next = s.next
+	return s.park
+}
+
+func (f *StepFiber) Resume(c Context, msgs []Inbound) Park {
+	s := f.next(c, msgs)
+	f.next = s.next
+	return s.park
+}
+
+// StepFiberFactory returns a fiber factory (the shape engines and the
+// facade consume) over a slab of n StepFibers sharing one boot
+// closure. The per-vertex cost at rest is one StepFiber struct in the
+// slab; all algorithm state lives in the continuations' closed-over
+// variables, allocated as the program runs.
+func StepFiberFactory(n int, boot func(c Context) Step) func(id int) Fiber {
+	slab := make([]StepFiber, n)
+	return func(id int) Fiber {
+		f := &slab[id]
+		f.Boot = boot
+		return f
+	}
+}

@@ -23,6 +23,11 @@
 // The ablation knob Config.FixedK pins k (e.g. to sqrt(n) regardless of
 // D), reproducing the message-inefficient strategy that the paper's
 // Section 1.2 identifies in [PRS16] for D >> sqrt(n).
+//
+// The whole algorithm is written once, in resumable Step form
+// (Program); the blocking Run and the fiber-engine FiberFactory are
+// both thin drivers over it, so every engine executes identical
+// handlers and reports bit-identical statistics.
 package core
 
 import (
@@ -93,59 +98,88 @@ type Result struct {
 // invoke Run in round 0 with an identical Config; all vertices return
 // in the same round.
 func Run(ctx congest.Context, cfg Config) *Result {
-	tau := bfstree.Build(ctx, cfg.Root)
-	n := tau.N
-	b := int64(ctx.Bandwidth())
+	var res *Result
+	congest.RunSteps(ctx, Program(ctx, cfg,
+		func(c congest.Context, r *Result) congest.Step {
+			res = r
+			return congest.Done()
+		}))
+	return res
+}
 
-	k := chooseK(n, tau.Height, b, cfg.FixedK)
-	if cfg.Metrics != nil && tau.Root {
-		cfg.Metrics.N, cfg.Metrics.Height, cfg.Metrics.K = n, tau.Height, k
-		cfg.Metrics.BuildRounds = ctx.Round()
-	}
-	if o := cfg.Observer; o != nil && tau.Root {
-		o.OnPhase(congest.PhaseEvent{Round: ctx.Round(), Name: "bfs-build", K: k})
-	}
+// FiberFactory returns a fiber factory running the algorithm on every
+// vertex of an n-vertex graph; report is invoked with each vertex's
+// Result as its fiber retires. It is the facade's Engine: Fiber path
+// for the Elkin variants.
+func FiberFactory(n int, cfg Config, report func(id int, res *Result)) func(id int) congest.Fiber {
+	return congest.StepFiberFactory(n, func(c congest.Context) congest.Step {
+		return Program(c, cfg, func(c congest.Context, res *Result) congest.Step {
+			report(c.ID(), res)
+			return congest.Done()
+		})
+	})
+}
 
-	st := forest.Run(ctx, k, cfg.ForestTrace)
-	forestEnd := ctx.Round()
-	if cfg.Metrics != nil && tau.Root {
-		cfg.Metrics.ForestRounds = forestEnd - cfg.Metrics.BuildRounds
-	}
-	if o := cfg.Observer; o != nil && tau.Root {
-		o.OnPhase(congest.PhaseEvent{Round: forestEnd, Name: "base-forest", K: k})
-	}
+// Program is the resumable form of Run: the same algorithm as a Step
+// program (see internal/congest/task.go), handing the completed Result
+// to then.
+func Program(c congest.Context, cfg Config,
+	then func(c congest.Context, res *Result) congest.Step) congest.Step {
+	return bfstree.BuildStep(c, cfg.Root, func(c congest.Context, tau *bfstree.Tree) congest.Step {
+		n := tau.N
+		b := int64(c.Bandwidth())
 
-	r := &boruvka{
-		ctx:       ctx,
-		tau:       tau,
-		st:        st,
-		cfg:       cfg,
-		k:         k,
-		coarse:    st.FragID,
-		nbrCoarse: make([]int64, ctx.Degree()),
-		mstPorts:  make(map[int]bool),
-	}
-	if st.ParentPort >= 0 {
-		r.mstPorts[st.ParentPort] = true
-	}
-	for _, p := range st.ChildPorts {
-		r.mstPorts[p] = true
-	}
+		k := chooseK(n, tau.Height, b, cfg.FixedK)
+		if cfg.Metrics != nil && tau.Root {
+			cfg.Metrics.N, cfg.Metrics.Height, cfg.Metrics.K = n, tau.Height, k
+			cfg.Metrics.BuildRounds = c.Round()
+		}
+		if o := cfg.Observer; o != nil && tau.Root {
+			o.OnPhase(congest.PhaseEvent{Round: c.Round(), Name: "bfs-build", K: k})
+		}
 
-	r.register(k)
-	phases := r.loop()
+		return forest.Program(c, k, cfg.ForestTrace, func(c congest.Context, st *forest.State) congest.Step {
+			forestEnd := c.Round()
+			if cfg.Metrics != nil && tau.Root {
+				cfg.Metrics.ForestRounds = forestEnd - cfg.Metrics.BuildRounds
+			}
+			if o := cfg.Observer; o != nil && tau.Root {
+				o.OnPhase(congest.PhaseEvent{Round: forestEnd, Name: "base-forest", K: k})
+			}
 
-	ports := make([]int, 0, len(r.mstPorts))
-	for p := range r.mstPorts {
-		ports = append(ports, p)
-	}
-	sortInts(ports)
-	return &Result{
-		MSTPorts:      ports,
-		FragID:        r.coarse,
-		K:             k,
-		BoruvkaPhases: phases,
-	}
+			r := &boruvka{
+				tau:       tau,
+				st:        st,
+				cfg:       cfg,
+				k:         k,
+				coarse:    st.FragID,
+				nbrCoarse: make([]int64, c.Degree()),
+				mstPorts:  make(map[int]bool),
+			}
+			if st.ParentPort >= 0 {
+				r.mstPorts[st.ParentPort] = true
+			}
+			for _, p := range st.ChildPorts {
+				r.mstPorts[p] = true
+			}
+
+			return r.register(c, k, func(c congest.Context) congest.Step {
+				return r.loop(c, 0, func(c congest.Context, phases int) congest.Step {
+					ports := make([]int, 0, len(r.mstPorts))
+					for p := range r.mstPorts {
+						ports = append(ports, p)
+					}
+					sortInts(ports)
+					return then(c, &Result{
+						MSTPorts:      ports,
+						FragID:        r.coarse,
+						K:             k,
+						BoruvkaPhases: phases,
+					})
+				})
+			})
+		})
+	})
 }
 
 // chooseK implements the paper's parameter rule: k = sqrt(n/b) in the
@@ -166,9 +200,11 @@ func chooseK(n, height, b int64, fixed int) int {
 	return int(k)
 }
 
-// boruvka is the per-vertex state of the Boruvka-over-τ stage.
+// boruvka is the per-vertex state of the Boruvka-over-τ stage. It is
+// plain data shared by every stage continuation; the live Context is
+// always a parameter, never a field (fiber engines re-point a shared
+// per-shard Context between wakes).
 type boruvka struct {
-	ctx congest.Context
 	tau *bfstree.Tree
 	st  *forest.State
 	cfg Config
@@ -191,181 +227,193 @@ type boruvka struct {
 // fragment-height bound H_F used to size later windows. Cost:
 // O(k + D + |F|/b) rounds, O(n + D·|F|) messages — the paper's
 // "upcast of |F_0| identities" step.
-func (r *boruvka) register(k int) {
-	ctx := r.ctx
+func (r *boruvka) register(c congest.Context, k int, then func(c congest.Context) congest.Step) congest.Step {
 	// 12k+4 bounds the base fragment height: Controlled-GHS guarantees
 	// strong diameter at most 6·2^ceil(log k) <= 12k (Theorem 4.3).
-	meas, isFragRoot := fragops.Converge(ctx, r.st.ParentPort, r.st.ChildPorts,
-		ctx.Round()+int64(12*k+6), true, [3]int64{1, 0, 0}, sizeHeight)
-	var items []bfstree.Item
-	if isFragRoot {
-		items = []bfstree.Item{{Group: r.st.FragID, W: meas[1], U: r.tau.Lo, V: 0}}
-	}
-	regStart := ctx.Round()
-	regs := r.tau.PipelinedUpcast(items)
-	var maxH int64
-	if r.tau.Root {
-		r.fragLabel = make(map[int64]int64, len(regs))
-		r.fragCoarse = make(map[int64]int64, len(regs))
-		for _, it := range regs {
-			r.fragLabel[it.Group] = it.U
-			r.fragCoarse[it.Group] = it.Group
-			if it.W > maxH {
-				maxH = it.W
+	return fragops.ConvergeStep(c, r.st.ParentPort, r.st.ChildPorts,
+		c.Round()+int64(12*k+6), true, [3]int64{1, 0, 0}, sizeHeight,
+		func(c congest.Context, meas [3]int64, isFragRoot bool) congest.Step {
+			var items []bfstree.Item
+			if isFragRoot {
+				items = []bfstree.Item{{Group: r.st.FragID, W: meas[1], U: r.tau.Lo, V: 0}}
 			}
-		}
-		if m := r.cfg.Metrics; m != nil {
-			m.BaseFragments = len(regs)
-			m.MaxFragHeight = maxH
-		}
-	}
-	got := r.tau.SyncBroadcast(congest.Message{A: maxH})
-	r.fragWin = got.A + 2
-	if m := r.cfg.Metrics; m != nil && r.tau.Root {
-		m.RegisterRounds = ctx.Round() - regStart
-	}
-	if o := r.cfg.Observer; o != nil && r.tau.Root {
-		o.OnPhase(congest.PhaseEvent{
-			Round: ctx.Round(), Name: "register",
-			Fragments: len(r.fragLabel), K: r.k,
+			regStart := c.Round()
+			return r.tau.PipelinedUpcastStep(c, items, func(c congest.Context, regs []bfstree.Item) congest.Step {
+				var maxH int64
+				if r.tau.Root {
+					r.fragLabel = make(map[int64]int64, len(regs))
+					r.fragCoarse = make(map[int64]int64, len(regs))
+					for _, it := range regs {
+						r.fragLabel[it.Group] = it.U
+						r.fragCoarse[it.Group] = it.Group
+						if it.W > maxH {
+							maxH = it.W
+						}
+					}
+					if m := r.cfg.Metrics; m != nil {
+						m.BaseFragments = len(regs)
+						m.MaxFragHeight = maxH
+					}
+				}
+				return r.tau.SyncBroadcastStep(c, congest.Message{A: maxH},
+					func(c congest.Context, got congest.Message) congest.Step {
+						r.fragWin = got.A + 2
+						if m := r.cfg.Metrics; m != nil && r.tau.Root {
+							m.RegisterRounds = c.Round() - regStart
+						}
+						if o := r.cfg.Observer; o != nil && r.tau.Root {
+							o.OnPhase(congest.PhaseEvent{
+								Round: c.Round(), Name: "register",
+								Fragments: len(r.fragLabel), K: r.k,
+							})
+						}
+						return then(c)
+					})
+			})
 		})
-	}
 }
 
-// loop runs Boruvka phases until the τ root announces completion, and
-// returns the number of phases executed.
-func (r *boruvka) loop() int {
-	phases := 0
-	for {
-		start := r.ctx.Round()
-		done := r.phase()
+// loop runs Boruvka phases until the τ root announces completion, then
+// hands the number of executed phases to then.
+func (r *boruvka) loop(c congest.Context, phases int,
+	then func(c congest.Context, phases int) congest.Step) congest.Step {
+	start := c.Round()
+	return r.phase(c, func(c congest.Context, done bool) congest.Step {
 		if m := r.cfg.Metrics; m != nil && r.tau.Root && !done {
-			m.PhaseRounds = append(m.PhaseRounds, r.ctx.Round()-start)
+			m.PhaseRounds = append(m.PhaseRounds, c.Round()-start)
 		}
 		if o := r.cfg.Observer; o != nil && r.tau.Root && !done {
 			o.OnPhase(congest.PhaseEvent{
-				Round: r.ctx.Round(), Name: "boruvka",
+				Round: c.Round(), Name: "boruvka",
 				Fragments: r.phaseFrags, K: r.k,
 			})
 		}
 		if done {
-			return phases
+			return then(c, phases)
 		}
-		phases++
-		if phases > 64 {
+		if phases+1 > 64 {
 			panic("core: Boruvka did not halve (more than 64 phases)")
 		}
-	}
+		return r.loop(c, phases+1, then)
+	})
 }
 
-// phase executes one Boruvka phase; it reports true when the root
+// phase executes one Boruvka phase; it hands then true when the root
 // announced completion (in which case the phase did no merging).
-func (r *boruvka) phase() bool {
-	ctx := r.ctx
-
+func (r *boruvka) phase(c congest.Context,
+	then func(c congest.Context, done bool) congest.Step) congest.Step {
 	// (1) Neighbor update: O(1) rounds, O(m) messages.
-	deg := ctx.Degree()
+	deg := c.Degree()
 	for p := 0; p < deg; p++ {
-		ctx.Send(p, congest.Message{Kind: KindNbrCoarse, A: r.coarse})
+		c.Send(p, congest.Message{Kind: KindNbrCoarse, A: r.coarse})
 	}
 	got := 0
-	fragops.Window(ctx, ctx.Round()+2, func(in congest.Inbound) {
+	return fragops.WindowStep(c, c.Round()+2, func(c congest.Context, in congest.Inbound) {
 		if in.Msg.Kind != KindNbrCoarse {
-			panic(fmt.Sprintf("core: vertex %d: kind %d during neighbor update", ctx.ID(), in.Msg.Kind))
+			panic(fmt.Sprintf("core: vertex %d: kind %d during neighbor update", c.ID(), in.Msg.Kind))
 		}
 		r.nbrCoarse[in.Port] = in.Msg.A
 		got++
+	}, func(c congest.Context) congest.Step {
+		if got != deg {
+			panic(fmt.Sprintf("core: vertex %d heard %d of %d neighbors", c.ID(), got, deg))
+		}
+
+		// (2) Each base fragment finds its lightest edge leaving the
+		// coarse fragment: O(k) rounds, O(n) messages.
+		return fragops.ArgminStep(c, r.st.ParentPort, r.st.ChildPorts,
+			c.Round()+r.fragWin, true, r.localCandidate(c), &r.winner,
+			func(c congest.Context, best [3]int64, isFragRoot bool) congest.Step {
+				// (3) Pipelined min-filtering upcast over τ: the root
+				// learns the MWOE of every coarse fragment.
+				var items []bfstree.Item
+				if isFragRoot && best != fragops.Sentinel {
+					items = []bfstree.Item{{Group: r.coarse, W: best[0], U: best[1], V: best[2]}}
+				}
+				return r.tau.PipelinedUpcastStep(c, items, func(c congest.Context, mins []bfstree.Item) congest.Step {
+					// (4) Root-side merge of the fragment graph, then the
+					// STOP/CONTINUE decision.
+					var pairs []bfstree.Routed
+					stop := int64(0)
+					if r.tau.Root {
+						if len(mins) == 0 {
+							stop = 1
+						} else {
+							pairs = r.mergeAtRoot(mins)
+						}
+					}
+					return r.tau.SyncBroadcastStep(c, congest.Message{A: stop},
+						func(c congest.Context, dec congest.Message) congest.Step {
+							if dec.A == 1 {
+								return then(c, true)
+							}
+
+							// (5) Interval-routed downcast of (F -> new
+							// coarse id, chosen edge) to every base
+							// fragment root.
+							return r.tau.RouteDownStep(c, pairs, func(c congest.Context, mine []bfstree.Routed) congest.Step {
+								var payload [3]int64
+								if isFragRoot {
+									if len(mine) != 1 {
+										panic(fmt.Sprintf("core: fragment root %d received %d routed pairs", c.ID(), len(mine)))
+									}
+									payload = [3]int64{mine[0].A, mine[0].B, 0}
+								} else if len(mine) != 0 {
+									panic(fmt.Sprintf("core: non-root vertex %d received routed pairs", c.ID()))
+								}
+
+								// (6) Broadcast the new identity (and the
+								// chosen MWOE) through each base fragment.
+								return fragops.BroadcastStep(c, r.st.ParentPort, r.st.ChildPorts,
+									c.Round()+r.fragWin, true, payload,
+									func(c congest.Context, pay [3]int64, _ bool) congest.Step {
+										oldCoarse := r.coarse
+										r.coarse = pay[0]
+
+										// (7) The endpoint of the chosen MWOE
+										// inside the old coarse fragment marks
+										// the edge and tells the far endpoint.
+										if a, bb, ok := decodeEdge(pay[1]); ok {
+											other := int64(-1)
+											switch int64(c.ID()) {
+											case a:
+												other = bb
+											case bb:
+												other = a
+											}
+											if other >= 0 {
+												if p := r.portTo(other); p >= 0 && r.nbrCoarse[p] != oldCoarse {
+													r.mstPorts[p] = true
+													c.Send(p, congest.Message{Kind: KindMSTMark})
+												}
+											}
+										}
+										return fragops.WindowStep(c, c.Round()+2, func(c congest.Context, in congest.Inbound) {
+											if in.Msg.Kind != KindMSTMark {
+												panic(fmt.Sprintf("core: vertex %d: kind %d during MST marking", c.ID(), in.Msg.Kind))
+											}
+											r.mstPorts[in.Port] = true
+										}, func(c congest.Context) congest.Step {
+											return then(c, false)
+										})
+									})
+							})
+						})
+				})
+			})
 	})
-	if got != deg {
-		panic(fmt.Sprintf("core: vertex %d heard %d of %d neighbors", ctx.ID(), got, deg))
-	}
-
-	// (2) Each base fragment finds its lightest edge leaving the coarse
-	// fragment: O(k) rounds, O(n) messages.
-	best, isFragRoot := fragops.Argmin(ctx, r.st.ParentPort, r.st.ChildPorts,
-		ctx.Round()+r.fragWin, true, r.localCandidate(), &r.winner)
-
-	// (3) Pipelined min-filtering upcast over τ: the root learns the
-	// MWOE of every coarse fragment. O(D + |F̂_j|/b) rounds.
-	var items []bfstree.Item
-	if isFragRoot && best != fragops.Sentinel {
-		items = []bfstree.Item{{Group: r.coarse, W: best[0], U: best[1], V: best[2]}}
-	}
-	mins := r.tau.PipelinedUpcast(items)
-
-	// (4) Root-side merge of the fragment graph, then the STOP/CONTINUE
-	// decision.
-	var pairs []bfstree.Routed
-	stop := int64(0)
-	if r.tau.Root {
-		if len(mins) == 0 {
-			stop = 1
-		} else {
-			pairs = r.mergeAtRoot(mins)
-		}
-	}
-	dec := r.tau.SyncBroadcast(congest.Message{A: stop})
-	if dec.A == 1 {
-		return true
-	}
-
-	// (5) Interval-routed downcast of (F -> new coarse id, chosen edge)
-	// to every base fragment root: O(D + |F|/b) rounds, O(D·|F|) msgs.
-	mine := r.tau.RouteDown(pairs)
-	var payload [3]int64
-	if isFragRoot {
-		if len(mine) != 1 {
-			panic(fmt.Sprintf("core: fragment root %d received %d routed pairs", ctx.ID(), len(mine)))
-		}
-		payload = [3]int64{mine[0].A, mine[0].B, 0}
-	} else if len(mine) != 0 {
-		panic(fmt.Sprintf("core: non-root vertex %d received routed pairs", ctx.ID()))
-	}
-
-	// (6) Broadcast the new identity (and the chosen MWOE) through each
-	// base fragment: O(k) rounds, O(n) messages.
-	pay, _ := fragops.Broadcast(ctx, r.st.ParentPort, r.st.ChildPorts,
-		ctx.Round()+r.fragWin, true, payload)
-	oldCoarse := r.coarse
-	r.coarse = pay[0]
-
-	// (7) The endpoint of the chosen MWOE inside the old coarse
-	// fragment marks the edge and tells the far endpoint: O(1) rounds,
-	// O(|F̂_j|) messages.
-	if a, bb, ok := decodeEdge(pay[1]); ok {
-		other := int64(-1)
-		switch int64(ctx.ID()) {
-		case a:
-			other = bb
-		case bb:
-			other = a
-		}
-		if other >= 0 {
-			if p := r.portTo(other); p >= 0 && r.nbrCoarse[p] != oldCoarse {
-				r.mstPorts[p] = true
-				ctx.Send(p, congest.Message{Kind: KindMSTMark})
-			}
-		}
-	}
-	fragops.Window(ctx, ctx.Round()+2, func(in congest.Inbound) {
-		if in.Msg.Kind != KindMSTMark {
-			panic(fmt.Sprintf("core: vertex %d: kind %d during MST marking", ctx.ID(), in.Msg.Kind))
-		}
-		r.mstPorts[in.Port] = true
-	})
-	return false
 }
 
 // localCandidate returns this vertex's lightest edge leaving its coarse
 // fragment as an argmin key (w, packed(a,b), target-coarse-id), or the
 // sentinel.
-func (r *boruvka) localCandidate() [3]int64 {
+func (r *boruvka) localCandidate(c congest.Context) [3]int64 {
 	best := fragops.Sentinel
-	for p := 0; p < r.ctx.Degree(); p++ {
+	for p := 0; p < c.Degree(); p++ {
 		if r.nbrCoarse[p] == r.coarse {
 			continue
 		}
-		key := [3]int64{r.ctx.Weight(p), encodeEdge(int64(r.ctx.ID()), r.st.NbrVertexID[p]), r.nbrCoarse[p]}
+		key := [3]int64{c.Weight(p), encodeEdge(int64(c.ID()), r.st.NbrVertexID[p]), r.nbrCoarse[p]}
 		if fragops.KeyLess(key, best) {
 			best = key
 		}

@@ -131,18 +131,41 @@ func heightBound(i int) int64 { return 6*(int64(1)<<uint(i)) + 2 }
 // All vertices must call Run in the same round; all return in the same
 // round. The fragment-tree edges held in State are edges of the unique
 // MST.
+//
+// Run is a blocking wrapper over Program, the resumable form the fiber
+// engine drives; both execute the same phase code.
 func Run(ctx congest.Context, k int, trace *Trace) *State {
-	r := newRunner(ctx, k, trace)
-	for i := 0; i < r.t; i++ {
-		r.phase(i)
+	var st *State
+	congest.RunSteps(ctx, Program(ctx, k, trace,
+		func(c congest.Context, s *State) congest.Step {
+			st = s
+			return congest.Done()
+		}))
+	return st
+}
+
+// Program is the resumable form of Run: the same construction as a
+// Step program (see internal/congest/task.go), handing the completed
+// State to then.
+func Program(c congest.Context, k int, trace *Trace,
+	then func(c congest.Context, st *State) congest.Step) congest.Step {
+	r := newRunner(c, k, trace)
+	var loop func(c congest.Context, i int) congest.Step
+	loop = func(c congest.Context, i int) congest.Step {
+		if i >= r.t {
+			return then(c, &State{
+				FragID:      r.fragID,
+				ParentPort:  r.parent,
+				ChildPorts:  append([]int(nil), r.children...),
+				Phases:      r.t,
+				NbrVertexID: r.nbrVid,
+			})
+		}
+		return r.phase(c, i, func(c congest.Context) congest.Step {
+			return loop(c, i+1)
+		})
 	}
-	return &State{
-		FragID:      r.fragID,
-		ParentPort:  r.parent,
-		ChildPorts:  append([]int(nil), r.children...),
-		Phases:      r.t,
-		NbrVertexID: r.nbrVid,
-	}
+	return loop(c, 0)
 }
 
 func failf(format string, args ...any) {

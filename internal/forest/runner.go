@@ -9,9 +9,16 @@ import (
 // (weight, id, id) key.
 var sentinel = fragops.Sentinel
 
+// cont is a phase-program continuation: the next Step once a stage has
+// finished. Stages receive the live congest.Context as a parameter and
+// never store one in the runner — fiber engines re-point a shared
+// per-shard Context between wakes, so captured Contexts go stale.
+type cont = func(c congest.Context) congest.Step
+
 // runner is one vertex's state machine for the Controlled-GHS phases.
+// It is plain data shared by the blocking and fiber drivers; every
+// message handler lives in the Step-form methods of phase.go.
 type runner struct {
-	ctx   congest.Context
 	k, t  int
 	trace *Trace
 
@@ -36,7 +43,10 @@ type runner struct {
 	roleSelector bool
 	candExists   bool
 
-	// Border-vertex state for the current phase.
+	// Border-vertex state for the current phase. The maps are allocated
+	// once and cleared in place each phase: a phase reset at 10^6
+	// vertices × O(log k) phases used to be the top allocation site of
+	// an Elkin run (four fresh maps per vertex per phase).
 	isOwner   bool // this vertex holds the fragment's MWOE
 	ownerPort int
 	bestPort  int           // this vertex's best local outgoing port
@@ -65,18 +75,21 @@ const (
 	statusIsolated  int64 = 3 // no outgoing edge: initiator, no merge
 )
 
-func newRunner(ctx congest.Context, k int, trace *Trace) *runner {
-	deg := ctx.Degree()
+func newRunner(c congest.Context, k int, trace *Trace) *runner {
+	deg := c.Degree()
 	r := &runner{
-		ctx:     ctx,
-		k:       k,
-		t:       Phases(k),
-		trace:   trace,
-		fragID:  int64(ctx.ID()),
-		parent:  -1,
-		nbrVid:  make([]int64, deg),
-		nbrFrag: make([]int64, deg),
-		nbrPart: make([]bool, deg),
+		k:         k,
+		t:         Phases(k),
+		trace:     trace,
+		fragID:    int64(c.ID()),
+		parent:    -1,
+		nbrVid:    make([]int64, deg),
+		nbrFrag:   make([]int64, deg),
+		nbrPart:   make([]bool, deg),
+		foreign:   make(map[int]bool),
+		childMat:  make(map[int]bool),
+		treeCross: make(map[int]bool),
+		childCol:  make(map[int]int64),
 	}
 	for p := range r.nbrVid {
 		r.nbrVid[p] = -1
@@ -85,10 +98,6 @@ func newRunner(ctx congest.Context, k int, trace *Trace) *runner {
 }
 
 func (r *runner) isRoot() bool { return r.parent == -1 }
-
-func (r *runner) window(end int64, handle func(congest.Inbound)) {
-	fragops.Window(r.ctx, end, handle)
-}
 
 func (r *runner) isChildPort(p int) bool {
 	for _, c := range r.children {
@@ -100,28 +109,6 @@ func (r *runner) isChildPort(p int) bool {
 }
 
 func keyLess(a, b [3]int64) bool { return fragops.KeyLess(a, b) }
-
-func (r *runner) fragConverge(end int64, active bool, own [3]int64,
-	combine func(acc, child [3]int64) [3]int64) ([3]int64, bool) {
-	return fragops.Converge(r.ctx, r.parent, r.children, end, active, own, combine)
-}
-
-func (r *runner) fragArgmin(end int64, active bool, own [3]int64) ([3]int64, bool) {
-	return fragops.Argmin(r.ctx, r.parent, r.children, end, active, own, &r.winTmp)
-}
-
-func (r *runner) fragBroadcast(end int64, active bool, own [3]int64) ([3]int64, bool) {
-	return fragops.Broadcast(r.ctx, r.parent, r.children, end, active, own)
-}
-
-func (r *runner) winnerDowncast(end int64, initiate bool, winner func(*runner) int, payload [3]int64) ([3]int64, bool) {
-	return fragops.WinnerDowncast(r.ctx, r.parent, end, initiate,
-		func() int { return winner(r) }, payload)
-}
-
-func (r *runner) upPath(end int64, origin bool, payload [3]int64) ([3]int64, bool) {
-	return fragops.UpPath(r.ctx, r.parent, r.children, end, origin, payload)
-}
 
 // participateThreshold is the size bound for phase i: fragments of at
 // most 2^i vertices join F'_i. Size bounds diameter from above, so the

@@ -9,6 +9,15 @@
 // `end`, and returns exactly at round `end`. A vertex whose fragment is
 // not active simply drains its (empty) window, so global alignment is
 // preserved without any coordination traffic.
+//
+// Each primitive is written once, in resumable Step form (the *Step
+// functions), and the blocking form is a congest.RunSteps wrapper over
+// it. There is a single copy of every message handler, so the fiber
+// engine and the blocking engines execute identical logic and report
+// bit-identical statistics. Step-form handlers and continuations take
+// the live congest.Context as a parameter and must not capture one
+// across parks (fiber engines re-point a shared per-shard Context
+// between wakes).
 package fragops
 
 import (
@@ -41,22 +50,45 @@ func KeyLess(a, b [3]int64) bool {
 	return a[2] < b[2]
 }
 
+// WindowStep drains deliveries until the absolute round end,
+// dispatching each inbound message to handle, then continues with
+// then. If the vertex is already at or past end the continuation runs
+// immediately, matching the blocking Window's no-op return.
+func WindowStep(c congest.Context, end int64, handle func(c congest.Context, in congest.Inbound),
+	then func(c congest.Context) congest.Step) congest.Step {
+	var loop congest.Resume
+	loop = func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		for _, in := range msgs {
+			handle(c, in)
+		}
+		if c.Round() < end {
+			return congest.Until(end, loop)
+		}
+		return then(c)
+	}
+	return loop(c, nil)
+}
+
 // Window drains deliveries until the absolute round end, dispatching
 // each inbound message to handle. On return the vertex is at round end.
 func Window(ctx congest.Context, end int64, handle func(congest.Inbound)) {
-	for ctx.Round() < end {
-		for _, in := range ctx.RecvUntil(end) {
-			handle(in)
-		}
-	}
+	congest.RunSteps(ctx, WindowStep(ctx, end,
+		func(c congest.Context, in congest.Inbound) { handle(in) },
+		func(c congest.Context) congest.Step { return congest.Done() }))
+}
+
+// DrainStep asserts that nothing arrives until end, then continues.
+func DrainStep(c congest.Context, end int64, then func(c congest.Context) congest.Step) congest.Step {
+	return WindowStep(c, end, func(c congest.Context, in congest.Inbound) {
+		failf("vertex %d: unexpected kind %d on port %d at round %d",
+			c.ID(), in.Msg.Kind, in.Port, c.Round())
+	}, then)
 }
 
 // Drain asserts that nothing arrives until end.
 func Drain(ctx congest.Context, end int64) {
-	Window(ctx, end, func(in congest.Inbound) {
-		failf("vertex %d: unexpected kind %d on port %d at round %d",
-			ctx.ID(), in.Msg.Kind, in.Port, ctx.Round())
-	})
+	congest.RunSteps(ctx, DrainStep(ctx, end,
+		func(c congest.Context) congest.Step { return congest.Done() }))
 }
 
 func isChild(children []int, p int) bool {
@@ -68,38 +100,99 @@ func isChild(children []int, p int) bool {
 	return false
 }
 
+// ConvergeStep is the resumable form of Converge; then receives the
+// blocking form's results.
+func ConvergeStep(c congest.Context, parent int, children []int, end int64, active bool,
+	own [3]int64, combine func(acc, child [3]int64) [3]int64,
+	then func(c congest.Context, acc [3]int64, isRoot bool) congest.Step) congest.Step {
+	if !active {
+		return DrainStep(c, end, func(c congest.Context) congest.Step {
+			return then(c, own, false)
+		})
+	}
+	acc := own
+	pend := len(children)
+	sent := false
+	maybeSend := func(c congest.Context) {
+		if pend == 0 && parent >= 0 && !sent {
+			sent = true
+			c.Send(parent, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
+		}
+	}
+	maybeSend(c)
+	return WindowStep(c, end, func(c congest.Context, in congest.Inbound) {
+		if in.Msg.Kind != KindConv || !isChild(children, in.Port) {
+			failf("vertex %d: kind %d from port %d during convergecast", c.ID(), in.Msg.Kind, in.Port)
+		}
+		acc = combine(acc, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C})
+		pend--
+		maybeSend(c)
+	}, func(c congest.Context) congest.Step {
+		if pend != 0 {
+			failf("vertex %d: convergecast missed %d children (window too small)", c.ID(), pend)
+		}
+		return then(c, acc, parent < 0)
+	})
+}
+
 // Converge runs one fragment-internal convergecast inside [now, end):
 // every vertex of an active fragment contributes own; combine folds a
 // child's reported value into the accumulator. The fragment root
 // returns (combined, true); everyone else (partial, false).
 func Converge(ctx congest.Context, parent int, children []int, end int64, active bool,
 	own [3]int64, combine func(acc, child [3]int64) [3]int64) ([3]int64, bool) {
+	var res [3]int64
+	var isRoot bool
+	congest.RunSteps(ctx, ConvergeStep(ctx, parent, children, end, active, own, combine,
+		func(c congest.Context, acc [3]int64, root bool) congest.Step {
+			res, isRoot = acc, root
+			return congest.Done()
+		}))
+	return res, isRoot
+}
+
+// ArgminStep is the resumable form of Argmin; then receives the
+// blocking form's results (the winner pointer is written to *winner
+// before then runs).
+func ArgminStep(c congest.Context, parent int, children []int, end int64, active bool,
+	own [3]int64, winner *int,
+	then func(c congest.Context, best [3]int64, isRoot bool) congest.Step) congest.Step {
+	*winner = -1
+	if own != Sentinel {
+		*winner = -2
+	}
 	if !active {
-		Drain(ctx, end)
-		return own, false
+		return DrainStep(c, end, func(c congest.Context) congest.Step {
+			return then(c, Sentinel, false)
+		})
 	}
 	acc := own
 	pend := len(children)
 	sent := false
-	maybeSend := func() {
+	maybeSend := func(c congest.Context) {
 		if pend == 0 && parent >= 0 && !sent {
 			sent = true
-			ctx.Send(parent, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
+			c.Send(parent, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
 		}
 	}
-	maybeSend()
-	Window(ctx, end, func(in congest.Inbound) {
+	maybeSend(c)
+	return WindowStep(c, end, func(c congest.Context, in congest.Inbound) {
 		if in.Msg.Kind != KindConv || !isChild(children, in.Port) {
-			failf("vertex %d: kind %d from port %d during convergecast", ctx.ID(), in.Msg.Kind, in.Port)
+			failf("vertex %d: kind %d from port %d during argmin", c.ID(), in.Msg.Kind, in.Port)
 		}
-		acc = combine(acc, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C})
+		got := [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
+		if KeyLess(got, acc) {
+			acc = got
+			*winner = in.Port
+		}
 		pend--
-		maybeSend()
+		maybeSend(c)
+	}, func(c congest.Context) congest.Step {
+		if pend != 0 {
+			failf("vertex %d: argmin missed %d children", c.ID(), pend)
+		}
+		return then(c, acc, parent < 0)
 	})
-	if pend != 0 {
-		failf("vertex %d: convergecast missed %d children (window too small)", ctx.ID(), pend)
-	}
-	return acc, parent < 0
 }
 
 // Argmin is Converge specialised to lexicographic minimisation. It
@@ -109,40 +202,45 @@ func Converge(ctx congest.Context, parent int, children []int, end int64, active
 // the Sentinel.
 func Argmin(ctx congest.Context, parent int, children []int, end int64, active bool,
 	own [3]int64, winner *int) ([3]int64, bool) {
-	*winner = -1
-	if own != Sentinel {
-		*winner = -2
-	}
-	if !active {
-		Drain(ctx, end)
-		return Sentinel, false
-	}
-	acc := own
-	pend := len(children)
-	sent := false
-	maybeSend := func() {
-		if pend == 0 && parent >= 0 && !sent {
-			sent = true
-			ctx.Send(parent, congest.Message{Kind: KindConv, A: acc[0], B: acc[1], C: acc[2]})
+	var res [3]int64
+	var isRoot bool
+	congest.RunSteps(ctx, ArgminStep(ctx, parent, children, end, active, own, winner,
+		func(c congest.Context, best [3]int64, root bool) congest.Step {
+			res, isRoot = best, root
+			return congest.Done()
+		}))
+	return res, isRoot
+}
+
+// BroadcastStep is the resumable form of Broadcast; then receives the
+// blocking form's results.
+func BroadcastStep(c congest.Context, parent int, children []int, end int64, active bool,
+	own [3]int64, then func(c congest.Context, got [3]int64, received bool) congest.Step) congest.Step {
+	if active && parent < 0 {
+		for _, ch := range children {
+			c.Send(ch, congest.Message{Kind: KindBcast, A: own[0], B: own[1], C: own[2]})
 		}
+		return DrainStep(c, end, func(c congest.Context) congest.Step {
+			return then(c, own, true)
+		})
 	}
-	maybeSend()
-	Window(ctx, end, func(in congest.Inbound) {
-		if in.Msg.Kind != KindConv || !isChild(children, in.Port) {
-			failf("vertex %d: kind %d from port %d during argmin", ctx.ID(), in.Msg.Kind, in.Port)
+	var got [3]int64
+	received := false
+	return WindowStep(c, end, func(c congest.Context, in congest.Inbound) {
+		if in.Msg.Kind != KindBcast || in.Port != parent || received {
+			failf("vertex %d: kind %d from port %d during broadcast", c.ID(), in.Msg.Kind, in.Port)
 		}
-		got := [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
-		if KeyLess(got, acc) {
-			acc = got
-			*winner = in.Port
+		received = true
+		got = [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
+		for _, ch := range children {
+			c.Send(ch, congest.Message{Kind: KindBcast, A: got[0], B: got[1], C: got[2]})
 		}
-		pend--
-		maybeSend()
+	}, func(c congest.Context) congest.Step {
+		if active && !received {
+			failf("vertex %d: broadcast never arrived", c.ID())
+		}
+		return then(c, got, received)
 	})
-	if pend != 0 {
-		failf("vertex %d: argmin missed %d children", ctx.ID(), pend)
-	}
-	return acc, parent < 0
 }
 
 // Broadcast distributes a 3-word payload from the fragment root inside
@@ -150,29 +248,48 @@ func Argmin(ctx congest.Context, parent int, children []int, end int64, active b
 // everywhere in active fragments).
 func Broadcast(ctx congest.Context, parent int, children []int, end int64, active bool,
 	own [3]int64) ([3]int64, bool) {
-	if active && parent < 0 {
-		for _, c := range children {
-			ctx.Send(c, congest.Message{Kind: KindBcast, A: own[0], B: own[1], C: own[2]})
-		}
-		Drain(ctx, end)
-		return own, true
-	}
+	var res [3]int64
+	var received bool
+	congest.RunSteps(ctx, BroadcastStep(ctx, parent, children, end, active, own,
+		func(c congest.Context, got [3]int64, rec bool) congest.Step {
+			res, received = got, rec
+			return congest.Done()
+		}))
+	return res, received
+}
+
+// WinnerDowncastStep is the resumable form of WinnerDowncast; then
+// receives the blocking form's results.
+func WinnerDowncastStep(c congest.Context, parent int, end int64, initiate bool,
+	winner func() int, payload [3]int64,
+	then func(c congest.Context, got [3]int64, target bool) congest.Step) congest.Step {
+	target := false
 	var got [3]int64
-	received := false
-	Window(ctx, end, func(in congest.Inbound) {
-		if in.Msg.Kind != KindBcast || in.Port != parent || received {
-			failf("vertex %d: kind %d from port %d during broadcast", ctx.ID(), in.Msg.Kind, in.Port)
+	if initiate {
+		switch w := winner(); {
+		case w == -2:
+			target, got = true, payload
+		case w >= 0:
+			c.Send(w, congest.Message{Kind: KindWinner, A: payload[0], B: payload[1], C: payload[2]})
+		default:
+			failf("vertex %d: downcast initiated with no winner", c.ID())
 		}
-		received = true
-		got = [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
-		for _, c := range children {
-			ctx.Send(c, congest.Message{Kind: KindBcast, A: got[0], B: got[1], C: got[2]})
-		}
-	})
-	if active && !received {
-		failf("vertex %d: broadcast never arrived", ctx.ID())
 	}
-	return got, received
+	return WindowStep(c, end, func(c congest.Context, in congest.Inbound) {
+		if in.Msg.Kind != KindWinner || in.Port != parent {
+			failf("vertex %d: kind %d from port %d during winner downcast", c.ID(), in.Msg.Kind, in.Port)
+		}
+		switch w := winner(); {
+		case w == -2:
+			target, got = true, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
+		case w >= 0:
+			c.Send(w, in.Msg)
+		default:
+			failf("vertex %d: winner downcast hit a dead end", c.ID())
+		}
+	}, func(c congest.Context) congest.Step {
+		return then(c, got, target)
+	})
 }
 
 // WinnerDowncast follows argmin winner pointers from the fragment root
@@ -182,32 +299,44 @@ func Broadcast(ctx congest.Context, parent int, children []int, end int64, activ
 // target.
 func WinnerDowncast(ctx congest.Context, parent int, end int64, initiate bool,
 	winner func() int, payload [3]int64) ([3]int64, bool) {
-	target := false
+	var res [3]int64
+	var target bool
+	congest.RunSteps(ctx, WinnerDowncastStep(ctx, parent, end, initiate, winner, payload,
+		func(c congest.Context, got [3]int64, tgt bool) congest.Step {
+			res, target = got, tgt
+			return congest.Done()
+		}))
+	return res, target
+}
+
+// UpPathStep is the resumable form of UpPath; then receives the
+// blocking form's results.
+func UpPathStep(c congest.Context, parent int, children []int, end int64, origin bool,
+	payload [3]int64,
+	then func(c congest.Context, got [3]int64, received bool) congest.Step) congest.Step {
+	received := false
 	var got [3]int64
-	if initiate {
-		switch w := winner(); {
-		case w == -2:
-			target, got = true, payload
-		case w >= 0:
-			ctx.Send(w, congest.Message{Kind: KindWinner, A: payload[0], B: payload[1], C: payload[2]})
-		default:
-			failf("vertex %d: downcast initiated with no winner", ctx.ID())
+	deliver := func(c congest.Context, m [3]int64) {
+		if parent < 0 {
+			if received {
+				failf("vertex %d: two UpPath payloads in one fragment", c.ID())
+			}
+			received, got = true, m
+			return
 		}
+		c.Send(parent, congest.Message{Kind: KindUpPath, A: m[0], B: m[1], C: m[2]})
 	}
-	Window(ctx, end, func(in congest.Inbound) {
-		if in.Msg.Kind != KindWinner || in.Port != parent {
-			failf("vertex %d: kind %d from port %d during winner downcast", ctx.ID(), in.Msg.Kind, in.Port)
+	if origin {
+		deliver(c, payload)
+	}
+	return WindowStep(c, end, func(c congest.Context, in congest.Inbound) {
+		if in.Msg.Kind != KindUpPath || !isChild(children, in.Port) {
+			failf("vertex %d: kind %d from port %d during UpPath", c.ID(), in.Msg.Kind, in.Port)
 		}
-		switch w := winner(); {
-		case w == -2:
-			target, got = true, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C}
-		case w >= 0:
-			ctx.Send(w, in.Msg)
-		default:
-			failf("vertex %d: winner downcast hit a dead end", ctx.ID())
-		}
+		deliver(c, [3]int64{in.Msg.A, in.Msg.B, in.Msg.C})
+	}, func(c congest.Context) congest.Step {
+		return then(c, got, received)
 	})
-	return got, target
 }
 
 // UpPath sends a 3-word payload from one origin vertex up the fragment
@@ -215,28 +344,14 @@ func WinnerDowncast(ctx congest.Context, parent int, end int64, initiate bool,
 // if an origin existed in its fragment.
 func UpPath(ctx congest.Context, parent int, children []int, end int64, origin bool,
 	payload [3]int64) ([3]int64, bool) {
-	received := false
-	var got [3]int64
-	deliver := func(m [3]int64) {
-		if parent < 0 {
-			if received {
-				failf("vertex %d: two UpPath payloads in one fragment", ctx.ID())
-			}
-			received, got = true, m
-			return
-		}
-		ctx.Send(parent, congest.Message{Kind: KindUpPath, A: m[0], B: m[1], C: m[2]})
-	}
-	if origin {
-		deliver(payload)
-	}
-	Window(ctx, end, func(in congest.Inbound) {
-		if in.Msg.Kind != KindUpPath || !isChild(children, in.Port) {
-			failf("vertex %d: kind %d from port %d during UpPath", ctx.ID(), in.Msg.Kind, in.Port)
-		}
-		deliver([3]int64{in.Msg.A, in.Msg.B, in.Msg.C})
-	})
-	return got, received
+	var res [3]int64
+	var received bool
+	congest.RunSteps(ctx, UpPathStep(ctx, parent, children, end, origin, payload,
+		func(c congest.Context, got [3]int64, rec bool) congest.Step {
+			res, received = got, rec
+			return congest.Done()
+		}))
+	return res, received
 }
 
 func failf(format string, args ...any) {

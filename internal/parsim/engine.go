@@ -217,6 +217,11 @@ type shard struct {
 	start   []int32
 	touched []int32
 
+	// arena is the pooled backing-store record the fiber-mode slices
+	// above were drawn from; runLoop returns it to fiberArenas when the
+	// run ends.
+	arena *fiberArena
+
 	// timers stages calendar entries for the coordinator.
 	timers []timerEntry
 
@@ -409,18 +414,61 @@ func (e *Engine) RunFiberContext(ctx context.Context, factory func(id int) conge
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.fc.e = e
-		s.cnt = make([]int32, s.hi-s.lo)
-		s.start = make([]int32, s.hi-s.lo)
-		if local := e.csr.Off[s.hi] - e.csr.Off[s.lo]; local > 0 {
+		// Engines are single-use but benchmark sweeps run many in
+		// sequence; recycling the arenas through fiberArenas means the
+		// second run of a sweep reuses the first one's delivery buffers
+		// instead of re-allocating hundreds of megabytes per run.
+		a := fiberArenas.Get().(*fiberArena)
+		s.arena = a
+		s.cnt = sizedInt32(a.cnt, s.hi-s.lo)
+		s.start = sizedInt32(a.start, s.hi-s.lo)
+		s.touched = a.touched[:0]
+		if local := int(e.csr.Off[s.hi] - e.csr.Off[s.lo]); cap(a.inArena) >= local {
+			s.inArena = a.inArena[:0]
+		} else if local > 0 {
 			s.inArena = make([]congest.Inbound, 0, local)
 		}
+		spare := a.buckets
 		for d, c := range pairArcs[i] {
-			if c > 0 {
-				s.buckets[d] = make([]delivery, 0, c)
+			if c == 0 {
+				continue
 			}
+			var row []delivery
+			if len(spare) > 0 {
+				row, spare = spare[len(spare)-1][:0], spare[:len(spare)-1]
+			}
+			if int64(cap(row)) < c {
+				row = make([]delivery, 0, c)
+			}
+			s.buckets[d] = row
 		}
+		a.cnt, a.start, a.inArena, a.touched, a.buckets = nil, nil, nil, nil, spare
 	}
 	return e.runLoop(ctx)
+}
+
+// fiberArena is the recyclable backing store of one shard's fiber-mode
+// delivery state. Pooled across runs (and engines) within a process so
+// that repeated fiber runs — a worker-count sweep, a benchmark, a
+// service — stop paying the arena allocation after the first.
+type fiberArena struct {
+	cnt, start []int32
+	touched    []int32
+	inArena    []congest.Inbound
+	buckets    [][]delivery // spare rows, capacity-preserving
+}
+
+var fiberArenas = sync.Pool{New: func() any { return new(fiberArena) }}
+
+// sizedInt32 returns a zeroed int32 slice of length n, reusing buf's
+// backing array when it is large enough.
+func sizedInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // runLoop is the shared round loop: release everyone in round 0, then
@@ -508,6 +556,32 @@ func (e *Engine) runLoop(ctx context.Context) (*congest.Stats, error) {
 					BusyNanos: s.busyNanos,
 				})
 			}
+		}
+	}
+	if e.fiberMode {
+		// Workers are idle behind the jobs channel here, so the shard
+		// arenas are quiescent: hand their backing stores back to the
+		// pool for the next fiber run in this process.
+		for i := range e.shards {
+			s := &e.shards[i]
+			a := s.arena
+			if a == nil {
+				continue
+			}
+			s.arena = nil
+			a.cnt, s.cnt = s.cnt, nil
+			a.start, s.start = s.start, nil
+			a.inArena, s.inArena = s.inArena[:0], nil
+			a.touched, s.touched = s.touched[:0], nil
+			spare := a.buckets[:0]
+			for d, row := range s.buckets {
+				if row != nil {
+					spare = append(spare, row[:0])
+					s.buckets[d] = nil
+				}
+			}
+			a.buckets = spare
+			fiberArenas.Put(a)
 		}
 	}
 	e.nodes = nil // single use; drops every fiber and inbox

@@ -13,6 +13,11 @@
 // forwards at most |F|-1 = sqrt(n) edges, which is where the n^{3/2}
 // message term comes from. The root finishes the MST locally and floods
 // the chosen edges back down the tree.
+//
+// The algorithm is written once, in resumable Step form (Program); the
+// blocking Run and the fiber-engine FiberFactory are thin drivers over
+// it, so every engine executes identical handlers and reports
+// bit-identical statistics.
 package pipeline
 
 import (
@@ -56,87 +61,118 @@ func edgeLess(a, b edge) bool {
 // Run executes Pipeline-MST on this vertex. Every vertex must call Run
 // in round 0 with the same root.
 func Run(ctx congest.Context, root int) *Result {
-	tau := bfstree.Build(ctx, root)
-	k := mathx.Max(1, mathx.ISqrtCeil(int(tau.N)))
-	st := forest.Run(ctx, k, nil)
-
-	mst := make(map[int]bool)
-	if st.ParentPort >= 0 {
-		mst[st.ParentPort] = true
-	}
-	for _, p := range st.ChildPorts {
-		mst[p] = true
-	}
-
-	// Refresh neighbor fragment ids (the forest's last phase left them
-	// stale).
-	deg := ctx.Degree()
-	nbrFrag := make([]int64, deg)
-	for p := 0; p < deg; p++ {
-		ctx.Send(p, congest.Message{Kind: KindNbrUpdate, A: st.FragID})
-	}
-	got := 0
-	fragops.Window(ctx, ctx.Round()+2, func(in congest.Inbound) {
-		if in.Msg.Kind != KindNbrUpdate {
-			panic(fmt.Sprintf("pipeline: vertex %d: kind %d during neighbor update", ctx.ID(), in.Msg.Kind))
-		}
-		nbrFrag[in.Port] = in.Msg.A
-		got++
-	})
-	if got != deg {
-		panic(fmt.Sprintf("pipeline: vertex %d heard %d of %d neighbors", ctx.ID(), got, deg))
-	}
-
-	// Own candidates: every incident inter-fragment edge, owned by the
-	// lower-id endpoint to halve the duplicates.
-	var own []edge
-	for p := 0; p < deg; p++ {
-		if nbrFrag[p] == st.FragID || st.NbrVertexID[p] < int64(ctx.ID()) {
-			continue
-		}
-		a, b := int64(ctx.ID()), st.NbrVertexID[p]
-		lo, hi := a, b
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		own = append(own, edge{w: ctx.Weight(p), ab: lo<<32 | hi, fa: st.FragID, fb: nbrFrag[p]})
-	}
-
-	winners := upcast(ctx, tau, own)
-	chosen := flood(ctx, tau, winners)
-
-	// Mark local MST ports among the flooded winners.
-	for _, e := range chosen {
-		a, b := e.ab>>32, e.ab&0xffffffff
-		var other int64 = -1
-		switch int64(ctx.ID()) {
-		case a:
-			other = b
-		case b:
-			other = a
-		}
-		if other < 0 {
-			continue
-		}
-		for p := 0; p < deg; p++ {
-			if st.NbrVertexID[p] == other {
-				mst[p] = true
-			}
-		}
-	}
-	ports := make([]int, 0, len(mst))
-	for p := range mst {
-		ports = append(ports, p)
-	}
-	sort.Ints(ports)
-	return &Result{MSTPorts: ports, K: k}
+	var res *Result
+	congest.RunSteps(ctx, Program(ctx, root,
+		func(c congest.Context, r *Result) congest.Step {
+			res = r
+			return congest.Done()
+		}))
+	return res
 }
 
-// upcast pipelines candidate edges to the τ root with per-vertex cycle
-// filtering. The root returns the edges that complete the MST; other
-// vertices return nil.
-func upcast(ctx congest.Context, tau *bfstree.Tree, own []edge) []edge {
-	b := ctx.Bandwidth()
+// FiberFactory returns a fiber factory running Pipeline-MST on every
+// vertex of an n-vertex graph; report is invoked with each vertex's
+// Result as its fiber retires. It is the facade's Engine: Fiber path
+// for AlgPipeline.
+func FiberFactory(n, root int, report func(id int, res *Result)) func(id int) congest.Fiber {
+	return congest.StepFiberFactory(n, func(c congest.Context) congest.Step {
+		return Program(c, root, func(c congest.Context, res *Result) congest.Step {
+			report(c.ID(), res)
+			return congest.Done()
+		})
+	})
+}
+
+// Program is the resumable form of Run: the same algorithm as a Step
+// program (see internal/congest/task.go), handing the completed Result
+// to then.
+func Program(c congest.Context, root int,
+	then func(c congest.Context, res *Result) congest.Step) congest.Step {
+	return bfstree.BuildStep(c, root, func(c congest.Context, tau *bfstree.Tree) congest.Step {
+		k := mathx.Max(1, mathx.ISqrtCeil(int(tau.N)))
+		return forest.Program(c, k, nil, func(c congest.Context, st *forest.State) congest.Step {
+			mst := make(map[int]bool)
+			if st.ParentPort >= 0 {
+				mst[st.ParentPort] = true
+			}
+			for _, p := range st.ChildPorts {
+				mst[p] = true
+			}
+
+			// Refresh neighbor fragment ids (the forest's last phase
+			// left them stale).
+			deg := c.Degree()
+			nbrFrag := make([]int64, deg)
+			for p := 0; p < deg; p++ {
+				c.Send(p, congest.Message{Kind: KindNbrUpdate, A: st.FragID})
+			}
+			got := 0
+			return fragops.WindowStep(c, c.Round()+2, func(c congest.Context, in congest.Inbound) {
+				if in.Msg.Kind != KindNbrUpdate {
+					panic(fmt.Sprintf("pipeline: vertex %d: kind %d during neighbor update", c.ID(), in.Msg.Kind))
+				}
+				nbrFrag[in.Port] = in.Msg.A
+				got++
+			}, func(c congest.Context) congest.Step {
+				if got != deg {
+					panic(fmt.Sprintf("pipeline: vertex %d heard %d of %d neighbors", c.ID(), got, deg))
+				}
+
+				// Own candidates: every incident inter-fragment edge,
+				// owned by the lower-id endpoint to halve the duplicates.
+				var own []edge
+				for p := 0; p < deg; p++ {
+					if nbrFrag[p] == st.FragID || st.NbrVertexID[p] < int64(c.ID()) {
+						continue
+					}
+					a, b := int64(c.ID()), st.NbrVertexID[p]
+					lo, hi := a, b
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					own = append(own, edge{w: c.Weight(p), ab: lo<<32 | hi, fa: st.FragID, fb: nbrFrag[p]})
+				}
+
+				return upcastStep(c, tau, own, func(c congest.Context, winners []edge) congest.Step {
+					return floodStep(c, tau, winners, func(c congest.Context, chosen []edge) congest.Step {
+						// Mark local MST ports among the flooded winners.
+						for _, e := range chosen {
+							a, b := e.ab>>32, e.ab&0xffffffff
+							var other int64 = -1
+							switch int64(c.ID()) {
+							case a:
+								other = b
+							case b:
+								other = a
+							}
+							if other < 0 {
+								continue
+							}
+							for p := 0; p < deg; p++ {
+								if st.NbrVertexID[p] == other {
+									mst[p] = true
+								}
+							}
+						}
+						ports := make([]int, 0, len(mst))
+						for p := range mst {
+							ports = append(ports, p)
+						}
+						sort.Ints(ports)
+						return then(c, &Result{MSTPorts: ports, K: k})
+					})
+				})
+			})
+		})
+	})
+}
+
+// upcastStep pipelines candidate edges to the τ root with per-vertex
+// cycle filtering. The root hands then the edges that complete the MST;
+// other vertices hand nil.
+func upcastStep(c congest.Context, tau *bfstree.Tree, own []edge,
+	then func(c congest.Context, winners []edge) congest.Step) congest.Step {
+	b := c.Bandwidth()
 	sort.Slice(own, func(i, j int) bool { return edgeLess(own[i], own[j]) })
 	ownIdx := 0
 
@@ -187,45 +223,12 @@ func upcast(ctx congest.Context, tau *bfstree.Tree, own []edge) []edge {
 		panic("pipeline: consumed edge not found")
 	}
 
-	for {
-		sent := 0
-		for sent < b {
-			e, ok, _ := next()
-			if !ok {
-				break
-			}
-			consume(e)
-			if !uf.union(e.fa, e.fb) {
-				continue // closes a cycle: by the cycle property, not in the MST
-			}
-			if tau.Root {
-				accepted = append(accepted, e)
-				continue
-			}
-			ctx.Send(tau.ParentPort, congest.Message{Kind: KindCand, A: e.w, B: e.ab, C: e.fa, D: e.fb})
-			sent++
-		}
-		_, pending, exhausted := next()
-		if exhausted && doneCount == len(tau.ChildPorts) {
-			if tau.Root {
-				return accepted
-			}
-			if sent >= b {
-				ctx.Step()
-			}
-			ctx.Send(tau.ParentPort, congest.Message{Kind: KindCandDone})
-			return nil
-		}
-		var msgs []congest.Inbound
-		if pending {
-			msgs = ctx.Step()
-		} else {
-			msgs = ctx.Recv()
-		}
+	var iterate func(c congest.Context) congest.Step
+	wake := func(c congest.Context, msgs []congest.Inbound) congest.Step {
 		for _, in := range msgs {
 			i, isChild := childIdx[in.Port]
 			if !isChild {
-				panic(fmt.Sprintf("pipeline: vertex %d: upcast from non-child port %d", ctx.ID(), in.Port))
+				panic(fmt.Sprintf("pipeline: vertex %d: upcast from non-child port %d", c.ID(), in.Port))
 			}
 			switch in.Msg.Kind {
 			case KindCand:
@@ -241,17 +244,61 @@ func upcast(ctx congest.Context, tau *bfstree.Tree, own []edge) []edge {
 				done[i] = true
 				doneCount++
 			default:
-				panic(fmt.Sprintf("pipeline: vertex %d: kind %d during upcast", ctx.ID(), in.Msg.Kind))
+				panic(fmt.Sprintf("pipeline: vertex %d: kind %d during upcast", c.ID(), in.Msg.Kind))
 			}
 		}
+		return iterate(c)
 	}
+	iterate = func(c congest.Context) congest.Step {
+		sent := 0
+		for sent < b {
+			e, ok, _ := next()
+			if !ok {
+				break
+			}
+			consume(e)
+			if !uf.union(e.fa, e.fb) {
+				continue // closes a cycle: by the cycle property, not in the MST
+			}
+			if tau.Root {
+				accepted = append(accepted, e)
+				continue
+			}
+			c.Send(tau.ParentPort, congest.Message{Kind: KindCand, A: e.w, B: e.ab, C: e.fa, D: e.fb})
+			sent++
+		}
+		_, pending, exhausted := next()
+		if exhausted && doneCount == len(tau.ChildPorts) {
+			if tau.Root {
+				return then(c, accepted)
+			}
+			if sent >= b {
+				// The bandwidth budget is spent: wait a round before the
+				// CandDone marker. Any concurrently delivered messages
+				// are discarded, matching the blocking form (there are
+				// none: every child already sent its CandDone).
+				return congest.Until(c.Round()+1, func(c congest.Context, _ []congest.Inbound) congest.Step {
+					c.Send(tau.ParentPort, congest.Message{Kind: KindCandDone})
+					return then(c, nil)
+				})
+			}
+			c.Send(tau.ParentPort, congest.Message{Kind: KindCandDone})
+			return then(c, nil)
+		}
+		if pending {
+			return congest.Until(c.Round()+1, wake)
+		}
+		return congest.Await(wake)
+	}
+	return iterate(c)
 }
 
-// flood broadcasts the winning edges from the root to every vertex
+// floodStep broadcasts the winning edges from the root to every vertex
 // (O(D + sqrt(n)/b) rounds, O(n·sqrt(n)) messages — the GKP98 cost),
 // self-aligning on the completion round carried by the flush marker.
-func flood(ctx congest.Context, tau *bfstree.Tree, winners []edge) []edge {
-	b := int64(ctx.Bandwidth())
+func floodStep(c congest.Context, tau *bfstree.Tree, winners []edge,
+	then func(c congest.Context, all []edge) congest.Step) congest.Step {
+	b := int64(c.Bandwidth())
 	var queue []congest.Message
 	var all []edge
 	flushed := tau.Root
@@ -261,32 +308,16 @@ func flood(ctx congest.Context, tau *bfstree.Tree, winners []edge) []edge {
 		for _, e := range winners {
 			queue = append(queue, congest.Message{Kind: KindWin, A: e.w, B: e.ab})
 		}
-		deadline = ctx.Round() + tau.Height + (int64(len(winners))+b)/b + 2
+		deadline = c.Round() + tau.Height + (int64(len(winners))+b)/b + 2
 		queue = append(queue, congest.Message{Kind: KindWinFlush, A: deadline})
 	}
 	qHead := 0
-	for {
-		var sent int64
-		for qHead < len(queue) && sent < b {
-			for _, p := range tau.ChildPorts {
-				ctx.Send(p, queue[qHead])
-			}
-			qHead++
-			sent++
-		}
-		if flushed && qHead == len(queue) {
-			waitQuiet(ctx, deadline)
-			return all
-		}
-		var msgs []congest.Inbound
-		if qHead < len(queue) {
-			msgs = ctx.Step()
-		} else {
-			msgs = ctx.Recv()
-		}
+
+	var iterate func(c congest.Context) congest.Step
+	wake := func(c congest.Context, msgs []congest.Inbound) congest.Step {
 		for _, in := range msgs {
 			if in.Port != tau.ParentPort {
-				panic(fmt.Sprintf("pipeline: vertex %d: flood from non-parent port %d", ctx.ID(), in.Port))
+				panic(fmt.Sprintf("pipeline: vertex %d: flood from non-parent port %d", c.ID(), in.Port))
 			}
 			switch in.Msg.Kind {
 			case KindWin:
@@ -297,21 +328,51 @@ func flood(ctx congest.Context, tau *bfstree.Tree, winners []edge) []edge {
 				deadline = in.Msg.A
 				queue = append(queue, in.Msg)
 			default:
-				panic(fmt.Sprintf("pipeline: vertex %d: kind %d during flood", ctx.ID(), in.Msg.Kind))
+				panic(fmt.Sprintf("pipeline: vertex %d: kind %d during flood", c.ID(), in.Msg.Kind))
 			}
 		}
+		return iterate(c)
 	}
+	iterate = func(c congest.Context) congest.Step {
+		var sent int64
+		for qHead < len(queue) && sent < b {
+			for _, p := range tau.ChildPorts {
+				c.Send(p, queue[qHead])
+			}
+			qHead++
+			sent++
+		}
+		if flushed && qHead == len(queue) {
+			return waitQuietStep(c, deadline, func(c congest.Context) congest.Step {
+				return then(c, all)
+			})
+		}
+		if qHead < len(queue) {
+			return congest.Until(c.Round()+1, wake)
+		}
+		return congest.Await(wake)
+	}
+	return iterate(c)
 }
 
-func waitQuiet(ctx congest.Context, t0 int64) {
-	if ctx.Round() > t0 {
-		panic(fmt.Sprintf("pipeline: vertex %d past alignment round %d", ctx.ID(), t0))
+// waitQuietStep parks until round t0, asserting silence on the way (an
+// early wake means a protocol violation).
+func waitQuietStep(c congest.Context, t0 int64,
+	then func(c congest.Context) congest.Step) congest.Step {
+	if c.Round() > t0 {
+		panic(fmt.Sprintf("pipeline: vertex %d past alignment round %d", c.ID(), t0))
 	}
-	for ctx.Round() < t0 {
-		if msgs := ctx.RecvUntil(t0); len(msgs) != 0 {
-			panic(fmt.Sprintf("pipeline: vertex %d: %d stray messages before %d", ctx.ID(), len(msgs), t0))
+	var loop func(c congest.Context, msgs []congest.Inbound) congest.Step
+	loop = func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		if len(msgs) != 0 {
+			panic(fmt.Sprintf("pipeline: vertex %d: %d stray messages before %d", c.ID(), len(msgs), t0))
 		}
+		if c.Round() < t0 {
+			return congest.Until(t0, loop)
+		}
+		return then(c)
 	}
+	return loop(c, nil)
 }
 
 // fragUF is a union-find over sparse fragment identities.
