@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve smoke-trace check
+.PHONY: all build fmt vet lint test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve smoke-trace check
 
 all: check
 
@@ -16,6 +16,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# The repo-specific analyzer suite (see internal/lint and the "Static
+# analysis" section of README.md): detrange, noclock, fiberpark,
+# atomicfield, obsnil. Blocking in `make check` and CI, exactly like
+# fmt and vet. Suppress a single finding with
+# `//lint:allow <analyzer> <why>` on the offending line.
+lint:
+	$(GO) run ./cmd/mstlint ./...
+
 test:
 	$(GO) test ./...
 
@@ -24,8 +32,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detect the whole module, not a hand-picked package list, so new
+# packages are never silently unraced; -short keeps the bench sweeps
+# and large-graph smokes off the clock (CI's dedicated smoke jobs run
+# those race-enabled with explicit -run filters).
 race:
-	$(GO) test -race ./internal/parsim/ ./internal/congest/ ./internal/nettrans/ ./internal/service/ .
+	$(GO) test -race -short ./...
 
 # Coverage-guided fuzzing of NDJSON edge lists through graph.Builder →
 # Run against a Kruskal oracle. FUZZTIME matches the CI budget; crank
@@ -67,4 +79,4 @@ smoke-serve:
 smoke-trace:
 	sh scripts/smoke_trace.sh
 
-check: build fmt vet test-short
+check: build fmt vet lint test-short

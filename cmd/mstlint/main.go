@@ -1,0 +1,120 @@
+// Command mstlint is the multichecker driver for this repository's
+// analyzer suite (internal/lint): five static checks that prove, at
+// compile time, the invariants the runtime test matrix defends —
+// deterministic map iteration and clock/randomness hygiene in the
+// engine packages, the congest.Fiber no-blocking contract, atomics
+// discipline, and the nil-Observer fast path.
+//
+// Usage:
+//
+//	mstlint [packages...]       # defaults to ./...
+//	mstlint -list               # print the analyzers and exit
+//
+// Diagnostics print as file:line:col: analyzer: message, one per
+// finding; the exit status is 1 if anything was reported, 2 on
+// loading or internal errors. Suppress a single finding with a
+// //lint:allow <analyzer> <why> directive on the offending line or
+// the line above (see internal/lint). The detrange and noclock
+// analyzers apply only to the deterministic engine/algorithm packages
+// (lint.DeterministicPackages); the rest run repo-wide.
+//
+// The suite is stdlib-only: analyzers are written against a miniature
+// of golang.org/x/tools/go/analysis (internal/lint/analysis), so the
+// root module stays dependency-free and a future migration to the
+// real multichecker (and `go vet -vettool`) is a mechanical import
+// swap once the build environment has proxy access.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"congestmst/internal/lint"
+	"congestmst/internal/lint/analysis"
+	"congestmst/internal/lint/load"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mstlint [-list] [packages...]\n\nAnalyzers:\n")
+		printAnalyzers(os.Stderr)
+	}
+	flag.Parse()
+
+	if *listOnly {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.GoList(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mstlint:", err)
+		os.Exit(2)
+	}
+
+	loader := load.NewLoader()
+	found := 0
+	for _, lp := range pkgs {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loader.LoadFiles(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mstlint:", err)
+			os.Exit(2)
+		}
+		type diag struct {
+			pos  string
+			line int
+			msg  string
+		}
+		var diags []diag
+		seen := map[string]bool{}
+		for _, a := range lint.For(lp.ImportPath) {
+			name := a.Name
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					p := pkg.Fset.Position(d.Pos)
+					msg := fmt.Sprintf("%s: %s", name, d.Message)
+					key := p.String() + msg
+					if seen[key] {
+						return
+					}
+					seen[key] = true
+					diags = append(diags, diag{pos: p.String(), line: p.Line, msg: msg})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "mstlint: %s on %s: %v\n", a.Name, lp.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", d.pos, d.msg)
+		}
+		found += len(diags)
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "mstlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w *os.File) {
+	for _, a := range lint.All() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

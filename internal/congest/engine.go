@@ -195,7 +195,7 @@ func (e *Engine) RunContext(ctx context.Context, program func(*Ctx)) (*Stats, er
 	for {
 		var roundStart time.Time
 		if obs != nil {
-			roundStart = time.Now()
+			roundStart = time.Now() //lint:allow noclock observer round-wall-clock sampling, off the stats path
 		}
 		doneCount += e.playRound(current)
 		if obs != nil && len(current) > 0 {
@@ -203,7 +203,7 @@ func (e *Engine) RunContext(ctx context.Context, program func(*Ctx)) (*Stats, er
 				Round:     e.round,
 				Active:    len(current),
 				Messages:  e.stats.Messages,
-				WallNanos: time.Since(roundStart).Nanoseconds(),
+				WallNanos: time.Since(roundStart).Nanoseconds(), //lint:allow noclock observer round-wall-clock sampling, off the stats path
 			})
 		}
 		if e.isAborted() {

@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"congestmst/internal/bfstree"
 	"congestmst/internal/congest"
@@ -431,10 +432,19 @@ func (r *boruvka) mergeAtRoot(mins []bfstree.Item) []bfstree.Routed {
 		uf.Union(int(it.Group), int(it.V))
 		chosen[it.Group] = it.U
 	}
+	// Iterate the base fragments in sorted order, never map order: the
+	// routed-pair order below feeds bfstree's message streams, so map
+	// iteration here would leak schedule nondeterminism into the
+	// cross-engine Rounds/Messages/ByKind guarantee.
+	frags := make([]int64, 0, len(r.fragCoarse))
+	for f := range r.fragCoarse {
+		frags = append(frags, f)
+	}
+	sortInt64s(frags)
 	if m, o := r.cfg.Metrics, r.cfg.Observer; m != nil || o != nil {
 		count := make(map[int64]bool, len(r.fragCoarse))
-		for _, c := range r.fragCoarse {
-			count[c] = true
+		for _, f := range frags {
+			count[r.fragCoarse[f]] = true
 		}
 		r.phaseFrags = len(count)
 		if m != nil {
@@ -443,14 +453,16 @@ func (r *boruvka) mergeAtRoot(mins []bfstree.Item) []bfstree.Routed {
 	}
 	// New identity of a component: the minimum old coarse id inside it.
 	newID := make(map[int]int64)
-	for _, c := range r.fragCoarse {
+	for _, f := range frags {
+		c := r.fragCoarse[f]
 		root := uf.Find(int(c))
 		if cur, ok := newID[root]; !ok || c < cur {
 			newID[root] = c
 		}
 	}
 	pairs := make([]bfstree.Routed, 0, len(r.fragCoarse))
-	for f, c := range r.fragCoarse {
+	for _, f := range frags {
+		c := r.fragCoarse[f]
 		edge, hasEdge := chosen[c]
 		if !hasEdge {
 			edge = -1
@@ -501,4 +513,11 @@ func sortInts(s []int) {
 			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}
+}
+
+// sortInt64s sorts the τ-root's base-fragment id list; unlike the
+// port lists sortInts handles (length ≤ degree), this can be every
+// base fragment in the graph, so it needs an O(n log n) sort.
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

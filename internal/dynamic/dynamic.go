@@ -318,7 +318,16 @@ func (s *Session) Apply(ops []EdgeOp) (Delta, Stats, error) {
 // sorted Added/Removed lists.
 func (s *Session) buildDelta(acc map[int32]int8) Delta {
 	d := Delta{Weight: s.weight, Components: s.components}
-	for id, net := range acc {
+	// Sorted ids, not map order: Added/Removed are re-sorted by edge
+	// key below, but building them deterministically keeps the interim
+	// allocations and any future observer hooks reproducible too.
+	ids := make([]int32, 0, len(acc))
+	for id := range acc {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		net := acc[id]
 		e := s.edges[id]
 		ge := graph.Edge{U: int(e.u), V: int(e.v), W: e.w}
 		switch {

@@ -287,7 +287,7 @@ func (r *runner) colourExchange(c congest.Context, h int64,
 				if r.isOwner && r.nbrPart[r.ownerPort] && !r.isMutualWinnerBorder() {
 					c.Send(r.ownerPort, congest.Message{Kind: KindColor, A: col[0]})
 				}
-				for p := range r.foreign {
+				for _, p := range sortedPorts(r.foreign) {
 					c.Send(p, congest.Message{Kind: KindColor, A: col[0]})
 				}
 			}
@@ -309,8 +309,8 @@ func (r *runner) colourExchange(c congest.Context, h int64,
 			}, func(c congest.Context) congest.Step {
 				ownParent := int64cvOrSentinel(r.parentCol)
 				ownChild := sentinel[0]
-				for _, cc := range r.childCol {
-					if cc < ownChild {
+				for _, p := range sortedPorts(r.childCol) {
+					if cc := r.childCol[p]; cc < ownChild {
 						ownChild = cc
 					}
 				}
@@ -373,7 +373,7 @@ func (r *runner) matchStep(c congest.Context, h int64, cc int64, then cont) cong
 			// with their vertex id.
 			own := sentinel
 			if r.fragSelecting {
-				for p := range r.foreign {
+				for _, p := range sortedPorts(r.foreign) {
 					if !r.childMat[p] {
 						own = [3]int64{0, int64(c.ID()), 0}
 						break
@@ -401,9 +401,10 @@ func (r *runner) matchStep(c congest.Context, h int64, cc int64, then cont) cong
 							// unmatched child port.
 							if target {
 								q := -1
-								for p := range r.foreign {
-									if !r.childMat[p] && (q == -1 || p < q) {
+								for _, p := range sortedPorts(r.foreign) {
+									if !r.childMat[p] {
 										q = p
+										break
 									}
 								}
 								if q < 0 {
@@ -515,9 +516,7 @@ func (r *runner) merge(c congest.Context, i int, h int64, then cont) congest.Ste
 				if r.parent >= 0 {
 					treePorts = append(treePorts, r.parent)
 				}
-				for p := range r.treeCross {
-					treePorts = append(treePorts, p)
-				}
+				treePorts = append(treePorts, sortedPorts(r.treeCross)...)
 				if initiator {
 					r.newFragSeen = true
 					r.parent = -1

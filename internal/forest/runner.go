@@ -1,6 +1,8 @@
 package forest
 
 import (
+	"sort"
+
 	"congestmst/internal/congest"
 	"congestmst/internal/fragops"
 )
@@ -109,6 +111,21 @@ func (r *runner) isChildPort(p int) bool {
 }
 
 func keyLess(a, b [3]int64) bool { return fragops.KeyLess(a, b) }
+
+// sortedPorts returns the keys of a port-keyed map in ascending order.
+// Phase state (foreign, childMat, treeCross, childCol) is map-backed,
+// and Go's map iteration order is random per run; every loop whose
+// effects escape — message sends, treePorts/children construction —
+// must go through here so runs stay bit-reproducible (see mstlint's
+// detrange analyzer).
+func sortedPorts[V any](m map[int]V) []int {
+	ports := make([]int, 0, len(m))
+	for p := range m {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	return ports
+}
 
 // participateThreshold is the size bound for phase i: fragments of at
 // most 2^i vertices join F'_i. Size bounds diameter from above, so the

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+
+	"congestmst/internal/lint/analysis"
+)
+
+// The //lint:allow directive suppresses one analyzer at one site,
+// either trailing the offending line:
+//
+//	roundStart = time.Now() //lint:allow noclock observer sampling
+//
+// or on the line above it:
+//
+//	//lint:allow detrange cardinality only, order-insensitive
+//	for _, c := range seen {
+//
+// The analyzer name is mandatory; the reason is free text but
+// expected — an allow without a why is a review comment waiting to
+// happen. A directive covers its own line and the line below.
+
+// allowlist maps "file:line" to the analyzer names allowed there.
+type allowlist map[string]map[string]bool
+
+// buildAllowlist scans every comment in the pass for //lint:allow
+// directives.
+func buildAllowlist(pass *analysis.Pass) allowlist {
+	al := allowlist{}
+	add := func(file string, line int, name string) {
+		key := posKey(file, line)
+		if al[key] == nil {
+			al[key] = map[string]bool{}
+		}
+		al[key][name] = true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, fields[0])
+				add(pos.Filename, pos.Line+1, fields[0])
+			}
+		}
+	}
+	return al
+}
+
+// allowed reports whether analyzer name is suppressed at pos.
+func (al allowlist) allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	return al[posKey(p.Filename, p.Line)][name]
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

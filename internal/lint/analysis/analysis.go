@@ -1,0 +1,55 @@
+// Package analysis is a dependency-free miniature of
+// golang.org/x/tools/go/analysis: just enough of the same shape
+// (Analyzer, Pass, Diagnostic) to write and test single-package
+// analyzers against the standard library's go/ast and go/types.
+//
+// The container this repository builds in has no module proxy access,
+// so x/tools cannot be vendored; mirroring its API keeps every
+// analyzer in internal/lint a mechanical port away from running under
+// the real multichecker / unitchecker drivers (`go vet -vettool`) once
+// a network is available. Only the fields the mstlint suite needs are
+// present, with x/tools' meanings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics and
+// in //lint:allow directives; Doc's first line is the short summary
+// printed by `mstlint -help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass hands an analyzer one type-checked package and a sink for its
+// findings. Analyzers must not mutate any of it.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}

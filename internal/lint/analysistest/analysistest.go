@@ -1,0 +1,144 @@
+// Package analysistest runs one mstlint analyzer over a fixture
+// package and checks its diagnostics against `// want` comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest: every
+// line carrying `// want "re"` must produce a diagnostic matching the
+// regexp, and every diagnostic must be wanted. Fixtures live under
+// testdata/src/<name>/ and may import anything in this module (the
+// fiberpark fixtures import internal/congest to reproduce the real
+// contract types).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"congestmst/internal/lint/analysis"
+	"congestmst/internal/lint/load"
+)
+
+// sharedLoader caches type-checked dependencies (including the source
+// stdlib) across every fixture in one test process.
+var sharedLoader = load.NewLoader()
+
+// Run loads the fixture package at dir and applies a, comparing
+// diagnostics to the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir("fixture/"+a.Name, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	type diag struct {
+		file string
+		line int
+		msg  string
+	}
+	var got []diag
+	seen := map[string]bool{}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			p := pkg.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, d.Message)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			got = append(got, diag{file: p.Filename, line: p.Line, msg: d.Message})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range got {
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.file && w.line == d.line && w.re.MatchString(d.msg) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.msg)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// splitQuoted extracts the double-quoted strings from a want payload:
+// `"a" "b"` → [a b], unquoting each.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) == 0 || s[0] != '"' {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return out
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return out
+		}
+		out = append(out, unq)
+		s = s[len(q):]
+	}
+}

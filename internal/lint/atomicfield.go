@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"congestmst/internal/lint/analysis"
+)
+
+// Atomicfield flags struct fields that are accessed both through
+// sync/atomic function calls (atomic.AddInt64(&s.n, 1)) and through
+// plain loads or stores (s.n++, x := s.n) in the same package. Mixed
+// access is a data race the race detector only catches when both
+// sides actually collide under test; statically, any field that is
+// ever passed to sync/atomic must be accessed that way everywhere.
+// The durable fix — and this repository's convention, used by the
+// internal/obs counters and the mstserved job counters — is the typed
+// atomics (atomic.Int64 and friends), which make plain access
+// unrepresentable; this analyzer exists to keep the function-style
+// escape hatch honest wherever it appears.
+var Atomicfield = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags struct fields accessed both via sync/atomic and via plain loads/stores",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *analysis.Pass) error {
+	allow := buildAllowlist(pass)
+
+	// Pass 1: fields used through sync/atomic, and the exact &field
+	// argument nodes so pass 2 can skip them.
+	atomicFields := map[*types.Var]ast.Node{} // field -> one atomic use site
+	atomicArgs := map[ast.Node]bool{}         // the &s.f nodes inside atomic calls
+	inspectWithStack(pass, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgFuncCall(pass.TypesInfo, call)
+		if !ok || path != "sync/atomic" || !isAtomicOp(name) || len(call.Args) == 0 {
+			return true
+		}
+		unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok {
+			return true
+		}
+		if fld := fieldOf(pass.TypesInfo, unary.X); fld != nil {
+			atomicFields[fld] = call
+			atomicArgs[ast.Unparen(unary.X)] = true
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain selections of those same fields.
+	inspectWithStack(pass, func(n ast.Node, _ []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fld := fieldOf(pass.TypesInfo, sel)
+		if fld == nil || atomicArgs[ast.Node(sel)] {
+			return true
+		}
+		if _, mixed := atomicFields[fld]; !mixed {
+			return true
+		}
+		if allow.allowed(pass.Fset, sel.Pos(), pass.Analyzer.Name) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access races with it (use the atomic API here, or better, an atomic.%s field)", fld.Name(), typedAtomicFor(fld.Type()))
+		return true
+	})
+	return nil
+}
+
+// isAtomicOp reports whether name is one of sync/atomic's load/store/
+// add/swap/CAS function entry points (as opposed to types or helpers).
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves e to the struct field it selects, or nil.
+func fieldOf(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// typedAtomicFor names the sync/atomic wrapper type matching t, for
+// the diagnostic's fix suggestion.
+func typedAtomicFor(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

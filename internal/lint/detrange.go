@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"congestmst/internal/lint/analysis"
+)
+
+// Detrange flags `range` over a map in the deterministic packages.
+// Go randomises map iteration order per run, so any map range whose
+// effects escape the loop — message sends, slice builds, state writes
+// — is a direct threat to the repo's bit-identical
+// Rounds/Messages/ByKind guarantee. The one conforming shape is the
+// collect-and-sort idiom:
+//
+//	keys := make([]int, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Ints(keys)
+//
+// which Detrange recognises: a loop body that only appends the range
+// variables to a slice, followed (in the same block) by a call whose
+// name starts with "sort"/"Sort" taking that slice. Genuinely
+// order-insensitive ranges (set cardinality, min-scans) should be
+// rewritten over sorted keys anyway — the analyzer cannot prove
+// commutativity — or carry a //lint:allow detrange directive with the
+// argument.
+var Detrange = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags map iteration in deterministic packages unless keys are collected and sorted",
+	Run:  runDetrange,
+}
+
+func runDetrange(pass *analysis.Pass) error {
+	allow := buildAllowlist(pass)
+	inspectWithStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if allow.allowed(pass.Fset, rs.Pos(), pass.Analyzer.Name) {
+			return true
+		}
+		if isCollectAndSort(pass, rs, stack) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "range over map %s in a deterministic package: iteration order is random per run; collect and sort the keys first (or //lint:allow detrange <why>)", exprString(rs.X))
+		return true
+	})
+	return nil
+}
+
+// isCollectAndSort reports whether rs is the conforming idiom: the
+// body only appends the range variables to one slice, and a later
+// statement in the innermost enclosing block sorts that slice.
+func isCollectAndSort(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Tok != token.ASSIGN {
+		return false
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, isIdent := call.Fun.(*ast.Ident); !isIdent || fn.Name != "append" {
+		return false
+	}
+	if base, isIdent := call.Args[0].(*ast.Ident); !isIdent || base.Name != target.Name {
+		return false
+	}
+	// Every appended element must be a range variable (key or value),
+	// possibly through a conversion like int64(k).
+	for _, arg := range call.Args[1:] {
+		if !isRangeVar(rs, arg) {
+			return false
+		}
+	}
+	// Find rs's position in the innermost enclosing statement list and
+	// look below it for a sort of target.
+	if len(stack) == 0 {
+		return false
+	}
+	block, ok := stack[len(stack)-1].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	seen := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			seen = true
+			continue
+		}
+		if seen && sortsSlice(stmt, target.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRangeVar reports whether e is rs.Key or rs.Value (by name),
+// looking through one level of conversion.
+func isRangeVar(rs *ast.RangeStmt, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		e = ast.Unparen(call.Args[0])
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if vid, ok := v.(*ast.Ident); ok && vid.Name == id.Name && id.Name != "_" {
+			return true
+		}
+	}
+	return false
+}
+
+// sortsSlice reports whether stmt calls a sorting function on the
+// named slice: sort.Ints(s), sort.Slice(s, ...), slices.Sort(s), or a
+// local helper whose name starts with "sort"/"Sort" (core.sortInts).
+func sortsSlice(stmt ast.Stmt, slice string) bool {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sorts := false
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// Local helpers: sortInts, sortPorts, ...
+		sorts = strings.HasPrefix(strings.ToLower(fun.Name), "sort")
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			switch base.Name {
+			case "sort":
+				switch fun.Sel.Name {
+				case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+					sorts = true
+				}
+			case "slices":
+				sorts = strings.HasPrefix(fun.Sel.Name, "Sort")
+			}
+		}
+	}
+	if !sorts {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && arg.Name == slice
+}

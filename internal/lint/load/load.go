@@ -1,0 +1,127 @@
+// Package load turns Go source on disk into the type-checked
+// analysis.Pass inputs the mstlint analyzers consume, using only the
+// standard library: go/parser for syntax and go/importer's source
+// importer for dependency type information. Pattern expansion
+// (`./...`) shells out to the go tool, which also keeps testdata
+// trees and build-tag handling exactly as the go command sees them.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (or directory name for fixture loads)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages. One Loader shares a FileSet
+// and a source-importer cache across every package it loads, so the
+// standard library is type-checked at most once per process.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		// The "source" importer resolves imports by type-checking
+		// their sources, so no compiled export data is needed — the
+		// only toolchain requirement is GOROOT plus this module.
+		imp: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// LoadFiles parses and type-checks the named files as one package
+// rooted at dir. path is only a label for diagnostics.
+func (l *Loader) LoadFiles(path, dir string, goFiles []string) (*Package, error) {
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("load: package %s has no Go files", path)
+	}
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// LoadDir loads every non-test .go file in dir as one package. Used by
+// analysistest, whose fixture packages live outside the go tool's view.
+func (l *Loader) LoadDir(path, dir string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, m := range matches {
+		base := filepath.Base(m)
+		if len(base) > len("_test.go") && base[len(base)-len("_test.go"):] == "_test.go" {
+			continue
+		}
+		names = append(names, base)
+	}
+	sort.Strings(names)
+	return l.LoadFiles(path, dir, names)
+}
+
+// Listed is the slice of `go list -json` output mstlint needs.
+type Listed struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// GoList expands package patterns with the go tool from dir.
+func GoList(dir string, patterns []string) ([]Listed, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []Listed
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p Listed
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

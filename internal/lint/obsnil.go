@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"congestmst/internal/lint/analysis"
+)
+
+// Obsnil enforces the nil-Observer fast path every engine relies on:
+// Options.Observer is nil in production runs, observer callbacks are
+// only legal behind a nil check, and an unguarded call is a panic on
+// the hot path the first time someone runs without tracing. The
+// analyzer flags any call of a congest observer interface method
+// (OnRound, OnPhase, OnShardSample, OnNet) on an interface-typed
+// receiver unless the call is dominated by one of the idioms the
+// engines use:
+//
+//	if obs != nil { obs.OnRound(ev) }
+//	if o := cfg.Observer; o != nil && tau.Root { o.OnPhase(ev) }
+//	if so, ok := obs.(congest.ShardObserver); ok { so.OnShardSample(s) }
+//	if obs == nil { return } ... obs.OnRound(ev)
+var Obsnil = &analysis.Analyzer{
+	Name: "obsnil",
+	Doc:  "requires nil-guarding of congest Observer interface method calls",
+	Run:  runObsnil,
+}
+
+var observerIfaces = map[string]bool{"Observer": true, "ShardObserver": true, "NetObserver": true}
+var observerMethods = map[string]bool{"OnRound": true, "OnPhase": true, "OnShardSample": true, "OnNet": true}
+
+func runObsnil(pass *analysis.Pass) error {
+	allow := buildAllowlist(pass)
+	inspectWithStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m, recv, ok := methodCall(pass.TypesInfo, call)
+		if !ok || !observerMethods[m.Name()] {
+			return true
+		}
+		if p, name := namedType(pass.TypeOf(recv)); p != congestPath || !observerIfaces[name] {
+			return true
+		}
+		if allow.allowed(pass.Fset, call.Pos(), pass.Analyzer.Name) {
+			return true
+		}
+		if guardedNonNil(pass, recv, n, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "observer call %s.%s without a nil guard: Options.Observer is nil on the fast path; wrap in `if %s != nil` (or //lint:allow obsnil <why>)",
+			exprString(recv), m.Name(), exprString(recv))
+		return true
+	})
+	return nil
+}
+
+// guardedNonNil reports whether the call node n is dominated by a nil
+// check of recv: an enclosing if whose condition proves recv non-nil,
+// a comma-ok type assertion that bound recv, or an earlier
+// `if recv == nil { return }` in an enclosing block.
+func guardedNonNil(pass *analysis.Pass, recv ast.Expr, n ast.Node, stack []ast.Node) bool {
+	recvText := exprString(recv)
+	child := n
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			if child == ast.Node(anc.Body) {
+				if condChecksNonNil(anc.Cond, recvText) {
+					return true
+				}
+				if commaOkBinds(pass, anc, recv) {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			for _, stmt := range anc.List {
+				if ast.Node(stmt) == child || containsNode(stmt, child) {
+					break
+				}
+				if earlyReturnOnNil(stmt, recvText) {
+					return true
+				}
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			// Guards outside the enclosing function don't dominate its
+			// body: the closure may run later, after the observer
+			// changed. Stop at the function boundary.
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// condChecksNonNil reports whether cond contains `text != nil` as a
+// conjunct (any BinaryExpr under &&s).
+func condChecksNonNil(cond ast.Expr, text string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		if be.Op == token.NEQ && (isNilCheckPair(be.X, be.Y, text) || isNilCheckPair(be.Y, be.X, text)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isNilCheckPair(x, y ast.Expr, text string) bool {
+	id, ok := ast.Unparen(y).(*ast.Ident)
+	return ok && id.Name == "nil" && exprString(ast.Unparen(x)) == text
+}
+
+// commaOkBinds reports whether the if's init is `recv, ok := X.(T)`
+// with ok referenced by the condition — the type-assertion guard.
+func commaOkBinds(pass *analysis.Pass, ifs *ast.IfStmt, recv ast.Expr) bool {
+	recvID, ok := ast.Unparen(recv).(*ast.Ident)
+	if !ok || ifs.Init == nil {
+		return false
+	}
+	assign, ok := ifs.Init.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 2 || len(assign.Rhs) != 1 {
+		return false
+	}
+	if _, isAssert := ast.Unparen(assign.Rhs[0]).(*ast.TypeAssertExpr); !isAssert {
+		return false
+	}
+	bound, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(bound) == nil ||
+		pass.TypesInfo.ObjectOf(bound) != pass.TypesInfo.ObjectOf(recvID) {
+		return false
+	}
+	okID, ok := assign.Lhs[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	used := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		if id, isID := n.(*ast.Ident); isID && pass.TypesInfo.ObjectOf(id) == pass.TypesInfo.ObjectOf(okID) {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// earlyReturnOnNil reports whether stmt is `if text == nil { return/panic/continue/break }`.
+func earlyReturnOnNil(stmt ast.Stmt, text string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	be, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return false
+	}
+	if !isNilCheckPair(be.X, be.Y, text) && !isNilCheckPair(be.Y, be.X, text) {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	default:
+		return false
+	}
+}
+
+// containsNode reports whether root's subtree contains n.
+func containsNode(root ast.Node, n ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(x ast.Node) bool {
+		if x == n {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,50 @@
+// Fixture for the atomicfield analyzer: a struct field passed to
+// sync/atomic anywhere in the package must be accessed atomically
+// everywhere in the package.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	typed  atomic.Int64
+}
+
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) snapshotRacy() (int64, int64) {
+	h := c.hits // want "field hits is accessed with sync/atomic"
+	m := atomic.LoadInt64(&c.misses)
+	return h, m
+}
+
+func (c *counters) resetRacy() {
+	c.hits = 0 // want "field hits is accessed with sync/atomic"
+	atomic.StoreInt64(&c.misses, 0)
+}
+
+// Typed atomics make plain access unrepresentable — always clean.
+func (c *counters) typedOK() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// A field never touched by sync/atomic may do whatever it likes.
+type plain struct {
+	n int64
+}
+
+func (p *plain) bump() { p.n++ }
+
+// An explicitly allowed mixed access (e.g. a constructor that runs
+// before the struct is shared).
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0 //lint:allow atomicfield pre-publication init
+	atomic.AddInt64(&c.hits, 0)
+	return c
+}

@@ -1,0 +1,96 @@
+// Fixture for the detrange analyzer: map ranges in deterministic
+// packages must collect-and-sort, carry an allow directive, or be
+// rewritten. Lines marked want are violations.
+package detrange
+
+import (
+	"sort"
+)
+
+func send(int) {}
+
+// Bad: iteration effects escape in map order.
+func sendsInMapOrder(m map[int]bool) {
+	for p := range m { // want "range over map m"
+		send(p)
+	}
+}
+
+// Bad: even a read-only min-scan is flagged — the analyzer cannot
+// prove commutativity.
+func minScan(m map[int]int64) int64 {
+	best := int64(1 << 62)
+	for _, v := range m { // want "range over map m"
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Good: the collect-and-sort idiom.
+func collectAndSort(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Good: collect-and-sort through sort.Slice and a conversion.
+func collectAndSortSlice(m map[int32]bool) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, int64(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Good: a local sort helper (the core.sortInts shape).
+func sortInts(s []int) { sort.Ints(s) }
+
+func collectAndSortLocal(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+// Bad: collected but never sorted.
+func collectNoSort(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Good: explicitly allowed with a reason.
+func allowed(m map[int]bool) int {
+	n := 0
+	//lint:allow detrange cardinality only, order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Good: trailing allow directive.
+func allowedTrailing(m map[int]bool) int {
+	n := 0
+	for range m { //lint:allow detrange cardinality only
+		n++
+	}
+	return n
+}
+
+// Ranging a slice is always fine.
+func sliceRange(s []int) {
+	for _, v := range s {
+		send(v)
+	}
+}

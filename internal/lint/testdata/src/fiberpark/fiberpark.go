@@ -1,0 +1,87 @@
+// Fixture for the fiberpark analyzer: code reachable from fiber /
+// step-form shapes (a congest.Context parameter plus a congest.Step
+// or congest.Park result) must never block. The violating shapes
+// below reproduce the exact PR 5 goroutine-fallback hazard: an
+// algorithm that looks fiber-native but sneaks a blocking
+// Recv/Step/RecvUntil (or a raw channel op) into a continuation, which
+// at runtime aborts the fiber engine or silently forces the goroutine
+// fallback surfaced by Stats.FiberFallback.
+package fiberpark
+
+import (
+	"congestmst/internal/congest"
+)
+
+// fallbackFiber is the PR 5 fallback shape: a Fiber implementation
+// whose Resume blocks on the Context instead of returning a park.
+type fallbackFiber struct {
+	round int64
+}
+
+func (f *fallbackFiber) Start(c congest.Context) congest.Park {
+	c.Send(0, congest.Message{Kind: 1})
+	return congest.ParkUntil(c.Round() + 1)
+}
+
+func (f *fallbackFiber) Resume(c congest.Context, msgs []congest.Inbound) congest.Park {
+	in := c.Recv() // want "blocking congest.Context.Recv"
+	_ = in
+	return congest.ParkDone
+}
+
+// blockingContinuation blocks inside a Step-form continuation.
+func blockingContinuation(c congest.Context) congest.Step {
+	return congest.Await(func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		extra := c.RecvUntil(c.Round() + 2) // want "blocking congest.Context.RecvUntil"
+		_ = extra
+		return congest.Done()
+	})
+}
+
+// stepInStepForm calls the third member of the blocking trio.
+func stepInStepForm(c congest.Context) congest.Step {
+	_ = c.Step() // want "blocking congest.Context.Step"
+	return congest.Done()
+}
+
+// helperReached blocks inside a plain helper that a step-form root
+// passes its Context to — reachability must follow the call.
+func helperReached(c congest.Context) []congest.Inbound {
+	return c.Recv() // want "blocking congest.Context.Recv"
+}
+
+func rootCallingHelper(c congest.Context) congest.Step {
+	msgs := helperReached(c)
+	_ = msgs
+	return congest.Done()
+}
+
+// channelFiber parks on a channel instead of the calendar.
+func channelFiber(c congest.Context, ch chan int) congest.Step {
+	ch <- 1   // want "channel send"
+	v := <-ch // want "channel receive"
+	_ = v
+	return congest.Done()
+}
+
+// conforming is the legal shape: all waiting is expressed as parks.
+func conforming(c congest.Context) congest.Step {
+	end := c.Round() + 4
+	return congest.Until(end, func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		for _, in := range msgs {
+			c.Send(in.Port, in.Msg)
+		}
+		if c.Round() < end {
+			return congest.Until(end, func(c congest.Context, _ []congest.Inbound) congest.Step {
+				return congest.Done()
+			})
+		}
+		return congest.Done()
+	})
+}
+
+// blockingHelper is NOT step-form (no Step/Park result) and is never
+// called from a root: the blocking engines may use this shape freely.
+func blockingHelper(c congest.Context) []congest.Inbound {
+	return c.Recv()
+}

@@ -1,0 +1,46 @@
+// Fixture for the noclock analyzer: wall-clock reads and unseeded
+// randomness are banned in deterministic packages.
+package noclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockReads() int64 {
+	t0 := time.Now() // want "wall-clock read time.Now"
+	_ = t0
+	d := time.Since(t0) // want "wall-clock read time.Since"
+	return int64(d)
+}
+
+// Explicitly allowed sampling site (the engines' observer timing).
+func allowedSampling() time.Time {
+	return time.Now() //lint:allow noclock observer sampling
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "unseeded randomness math/rand.Intn"
+}
+
+func shuffled(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want "unseeded randomness math/rand.Shuffle"
+}
+
+// A bare reference smuggles the clock as well as a call does.
+func smuggledClock() func() time.Time {
+	return time.Now // want "wall-clock read time.Now"
+}
+
+// Seeded generators are the reproducible path and stay legal — both
+// the constructors and the methods on the returned *rand.Rand.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// time.Duration arithmetic and constants are fine; only clock reads
+// are flagged.
+func durations() time.Duration {
+	return 25 * time.Millisecond
+}

@@ -1,0 +1,71 @@
+// Fixture for the obsnil analyzer: congest observer interface methods
+// may only be called behind the nil-check idioms the engines use,
+// because Options.Observer is nil on the production fast path.
+package obsnil
+
+import (
+	"congestmst/internal/congest"
+)
+
+type options struct {
+	Observer congest.Observer
+}
+
+func unguarded(opts options, ev congest.RoundEvent) {
+	opts.Observer.OnRound(ev) // want "observer call opts.Observer.OnRound without a nil guard"
+}
+
+func unguardedLocal(opts options, ev congest.RoundEvent) {
+	obs := opts.Observer
+	obs.OnRound(ev) // want "observer call obs.OnRound without a nil guard"
+}
+
+func guardedLocal(opts options, ev congest.RoundEvent) {
+	obs := opts.Observer
+	if obs != nil {
+		obs.OnRound(ev)
+	}
+}
+
+func guardedInit(opts options, ev congest.PhaseEvent, root bool) {
+	if o := opts.Observer; o != nil && root {
+		o.OnPhase(ev)
+	}
+}
+
+func guardedEarlyReturn(opts options, ev congest.RoundEvent) {
+	obs := opts.Observer
+	if obs == nil {
+		return
+	}
+	obs.OnRound(ev)
+}
+
+func guardedTypeAssert(opts options, s congest.ShardSample) {
+	if so, ok := opts.Observer.(congest.ShardObserver); ok {
+		so.OnShardSample(s)
+	}
+}
+
+// The guard must dominate within the same function: a closure built
+// under a guard may outlive it.
+func closureEscapesGuard(opts options, ev congest.RoundEvent) func() {
+	if opts.Observer != nil {
+		return func() {
+			opts.Observer.OnRound(ev) // want "observer call opts.Observer.OnRound without a nil guard"
+		}
+	}
+	return func() {}
+}
+
+// Guarding the wrong expression does not count.
+func wrongGuard(a, b options, ev congest.RoundEvent) {
+	if a.Observer != nil {
+		b.Observer.OnRound(ev) // want "observer call b.Observer.OnRound without a nil guard"
+	}
+}
+
+// Allowed with a reason (e.g. a test helper that always sets one).
+func allowed(opts options, ev congest.RoundEvent) {
+	opts.Observer.OnRound(ev) //lint:allow obsnil test helper, observer always set
+}

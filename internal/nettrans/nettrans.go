@@ -343,7 +343,7 @@ func (c *cluster) connect(ctx context.Context) error {
 					acceptErrs[i] = err
 					return
 				}
-				conn.SetReadDeadline(time.Now().Add(dialTimeout))
+				conn.SetReadDeadline(time.Now().Add(dialTimeout)) //lint:allow noclock socket read deadline, not algorithm state
 				var hello [4]byte
 				if _, err := io.ReadFull(conn, hello[:]); err != nil {
 					conn.Close()
@@ -593,7 +593,7 @@ func (s *shard) loop() {
 		}
 		var roundStart time.Time
 		if obs != nil {
-			roundStart = time.Now()
+			roundStart = time.Now() //lint:allow noclock observer round-wall-clock sampling, off the stats path
 		}
 		wakes := s.wakeSet()
 		if len(wakes) > 0 && s.round > s.busyRound {
@@ -602,7 +602,7 @@ func (s *shard) loop() {
 		s.execs += int64(len(wakes))
 		s.exec(wakes)
 		if sample {
-			s.busyNanos += time.Since(roundStart).Nanoseconds()
+			s.busyNanos += time.Since(roundStart).Nanoseconds() //lint:allow noclock shard busy-time sampling, off the stats path
 		}
 		if c.aborted.Load() { // a local program panicked or violated bandwidth
 			s.abort()
@@ -646,7 +646,7 @@ func (s *shard) loop() {
 					Round:     s.round,
 					Active:    int(active - prevActive),
 					Messages:  c.obsMessages.Load(),
-					WallNanos: time.Since(roundStart).Nanoseconds(),
+					WallNanos: time.Since(roundStart).Nanoseconds(), //lint:allow noclock observer round-wall-clock sampling, off the stats path
 				})
 				prevActive = active
 			}
