@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve smoke-trace check
+.PHONY: all build fmt vet lint test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve smoke-trace smoke-cluster check
 
 all: check
 
@@ -78,5 +78,13 @@ smoke-serve:
 # strict NDJSON schema validation. What CI runs.
 smoke-trace:
 	sh scripts/smoke_trace.sh
+
+# Multi-process cluster smoke against race-built binaries: mstshard
+# worker fleet, mstrun -cluster parity vs the in-process engine, a
+# chaos fleet that severs mesh sockets mid-run (must heal with
+# identical stats), and an mstserved remote job whose /metrics must
+# expose the cluster transport families. What CI runs.
+smoke-cluster:
+	sh scripts/smoke_cluster.sh
 
 check: build fmt vet lint test-short

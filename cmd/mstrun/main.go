@@ -48,6 +48,7 @@ func main() {
 		engine    = flag.String("engine", "lockstep", "execution engine: lockstep | parallel | cluster | fiber")
 		workers   = flag.Int("workers", 0, "parallel/fiber engine worker pool size (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "cluster engine shard count (0 = min(4, n)); sockets = shards*(shards-1)/2")
+		clusterCf = flag.String("cluster", "", "cluster config file (NDJSON); dispatches -engine cluster to remote mstshard workers")
 		bandwidth = flag.Int("b", 1, "CONGEST(b log n) bandwidth")
 		root      = flag.Int("root", 0, "BFS root vertex")
 		fixedK    = flag.Int("k", 0, "pinned k for elkin-fixed-k (0 = sqrt n)")
@@ -69,14 +70,14 @@ func main() {
 		defer cancel()
 	}
 	if err := run(ctx, *graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
-		*alg, *engine, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics, *updates, *traceOut); err != nil {
+		*alg, *engine, *clusterCf, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics, *updates, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mstrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail int, seed uint64,
-	weights, alg, engine string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool, updates, traceOut string) error {
+	weights, alg, engine, clusterCf string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool, updates, traceOut string) error {
 	g, err := congestmst.GraphSpec{
 		Type: graphType, N: n, M: m, Rows: rows, Cols: cols,
 		Clique: clique, Tail: tail, Seed: seed, Weights: weights,
@@ -105,6 +106,16 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 		Root:      root,
 		FixedK:    fixedK,
 	}
+	if clusterCf != "" {
+		if eng != congestmst.Cluster {
+			return fmt.Errorf("-cluster requires -engine cluster (got %s)", eng)
+		}
+		ccfg, err := congestmst.LoadClusterConfig(clusterCf)
+		if err != nil {
+			return err
+		}
+		runOpts.Cluster = ccfg
+	}
 	if printMetrics {
 		runOpts.Metrics = &met
 	}
@@ -120,6 +131,13 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 			N: g.N(), M: g.M(), Bandwidth: bandwidth,
 		})
 		runOpts.Observer = tr
+	}
+	var netCap *netCapture
+	if eng == congestmst.Cluster {
+		// Capture the socket account so the transport line below can
+		// report reconnect/replay activity (the smoke script greps it).
+		netCap = &netCapture{inner: runOpts.Observer}
+		runOpts.Observer = netCap
 	}
 	start := time.Now()
 	res, err := congestmst.RunContext(ctx, g, runOpts)
@@ -160,6 +178,14 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 	fmt.Printf("rounds    : %d\n", res.Rounds)
 	fmt.Printf("messages  : %d\n", res.Messages)
 	fmt.Printf("wall clock: %v\n", elapsed.Round(time.Millisecond))
+	if netCap != nil && netCap.got {
+		ns := netCap.sample
+		fmt.Printf("transport : sockets=%d dials=%d retries=%d reconnects=%d replayed_frames=%d bytes_out=%d bytes_in=%d\n",
+			ns.Sockets, ns.Dials, ns.DialRetries, ns.Reconnects, ns.ReplayedFrames, ns.BytesOut, ns.BytesIn)
+		for _, r := range ns.RTTs {
+			fmt.Printf("rtt       : shard %d -> %d %v\n", r.Shard, r.Peer, time.Duration(r.Nanos).Round(time.Microsecond))
+		}
+	}
 	check := "verified against Kruskal"
 	if g.M() > congestmst.VerifyAutoEdgeLimit {
 		check = fmt.Sprintf("structurally checked; Kruskal comparison skipped above %d edges", congestmst.VerifyAutoEdgeLimit)
@@ -191,6 +217,41 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 		}
 	}
 	return nil
+}
+
+// netCapture records the Cluster engine's final socket account while
+// forwarding every event to the wrapped observer (if any), so -trace
+// and the transport summary line compose.
+type netCapture struct {
+	inner  congestmst.Observer
+	sample congestmst.NetSample
+	got    bool
+}
+
+func (c *netCapture) OnRound(e congestmst.RoundEvent) {
+	if c.inner != nil {
+		c.inner.OnRound(e)
+	}
+}
+
+func (c *netCapture) OnPhase(e congestmst.PhaseEvent) {
+	if c.inner != nil {
+		c.inner.OnPhase(e)
+	}
+}
+
+func (c *netCapture) OnShardSample(s congestmst.ShardSample) {
+	if so, ok := c.inner.(congestmst.ShardObserver); ok {
+		so.OnShardSample(s)
+	}
+}
+
+func (c *netCapture) OnNet(ns congestmst.NetSample) {
+	c.sample = ns
+	c.got = true
+	if no, ok := c.inner.(congestmst.NetObserver); ok {
+		no.OnNet(ns)
+	}
 }
 
 // replayUpdates repairs the computed MST under the NDJSON op file via

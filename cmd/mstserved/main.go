@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"congestmst"
 	"congestmst/internal/service"
 )
 
@@ -51,21 +52,32 @@ func main() {
 		queueDepth = flag.Int("queue", 64, "admitted-but-not-started job bound (full queue = 503)")
 		cacheSize  = flag.Int("cache", 128, "result cache capacity (entries)")
 		maxGraphs  = flag.Int("max-graphs", 32, "uploaded graph store capacity (LRU)")
+		clusterCf  = flag.String("cluster", "", "cluster config file (NDJSON); jobs submitted with \"remote\": true dispatch to these mstshard workers")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling data; enable only on trusted networks)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxGraphs, *pprofOn); err != nil {
+	if err := run(*addr, *workers, *queueDepth, *cacheSize, *maxGraphs, *clusterCf, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "mstserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueDepth, cacheSize, maxGraphs int, pprofOn bool) error {
+func run(addr string, workers, queueDepth, cacheSize, maxGraphs int, clusterCf string, pprofOn bool) error {
+	var clusterCfg *congestmst.ClusterConfig
+	if clusterCf != "" {
+		var err error
+		clusterCfg, err = congestmst.LoadClusterConfig(clusterCf)
+		if err != nil {
+			return err
+		}
+		log.Printf("mstserved: remote jobs dispatch %d shards over %s", clusterCfg.Shards, clusterCf)
+	}
 	svc := service.New(service.Config{
 		Workers:    workers,
 		QueueDepth: queueDepth,
 		CacheSize:  cacheSize,
 		MaxGraphs:  maxGraphs,
+		Cluster:    clusterCfg,
 	})
 	handler := svc.Handler()
 	if pprofOn {

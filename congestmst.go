@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 
+	"congestmst/internal/cluster"
 	"congestmst/internal/congest"
 	"congestmst/internal/core"
 	"congestmst/internal/dynamic"
@@ -264,6 +265,28 @@ const (
 	OpDelete = dynamic.Delete
 )
 
+// Re-exported distributed-cluster API (internal/cluster): a cluster
+// config file maps shard IDs to mstshard worker addresses; setting
+// Options.Cluster makes the Cluster engine dispatch the run to those
+// workers instead of spawning in-process shards. Statistics stay
+// bit-identical either way.
+type (
+	// ClusterConfig places the shards of a distributed run and tunes
+	// the mesh transport. Load one with LoadClusterConfig or build it
+	// in code.
+	ClusterConfig = cluster.Config
+	// ClusterEntry is one shard's placement (bind/advertise address).
+	ClusterEntry = cluster.Entry
+	// ClusterWorkerError identifies the worker that failed a
+	// distributed run (errors.As against a Run error).
+	ClusterWorkerError = cluster.WorkerError
+)
+
+// LoadClusterConfig reads an NDJSON cluster config file (header line
+// with "cluster":"v1" and "shards", then one placement line per
+// shard).
+var LoadClusterConfig = cluster.Load
+
 // Re-exported incremental-update constructors.
 var (
 	// NewDynamicSession starts a session over a graph with a computed
@@ -332,11 +355,18 @@ type Options struct {
 	// ForestTrace, if non-nil, receives Controlled-GHS phase snapshots
 	// (Elkin and ElkinFixedK only).
 	ForestTrace *ForestTrace
+	// Cluster, if non-nil, makes the Cluster engine dispatch the run to
+	// remote mstshard workers per the config (see LoadClusterConfig)
+	// instead of spawning in-process shards. Only valid with Engine ==
+	// Cluster; the config's shard count takes the place of Shards.
+	Cluster *ClusterConfig
 	// Observer, if non-nil, receives round and phase events while the
 	// run executes (all engines; see the Observer type). Callbacks must
 	// be fast, non-blocking and safe for concurrent use; they must not
 	// perturb the run (statistics stay bit-identical with or without an
-	// observer attached).
+	// observer attached). Distributed runs (Cluster set) emit only the
+	// final round event plus shard and net samples — the per-round
+	// events play on the workers.
 	Observer Observer
 	// Verify selects the post-run check level (default VerifyAuto).
 	Verify VerifyMode
@@ -417,6 +447,19 @@ func (o Options) Validate(n int) error {
 	}
 	if o.MaxRounds < 0 {
 		return fmt.Errorf("congestmst: Options.MaxRounds %d is negative (0 means the default of 100 million)", o.MaxRounds)
+	}
+	if o.Cluster != nil {
+		if o.Engine != Cluster {
+			return fmt.Errorf("congestmst: Options.Cluster is set but Engine is %v, not Cluster", o.Engine)
+		}
+		if o.Shards != 0 && o.Shards != o.Cluster.Shards {
+			return fmt.Errorf("congestmst: Options.Shards %d disagrees with the cluster config's %d shards",
+				o.Shards, o.Cluster.Shards)
+		}
+		if len(o.Cluster.Entries) != o.Cluster.Shards {
+			return fmt.Errorf("congestmst: cluster config places %d of %d shards",
+				len(o.Cluster.Entries), o.Cluster.Shards)
+		}
 	}
 	return nil
 }
@@ -515,12 +558,34 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 			}
 		}
 	case Cluster:
-		stats, err = nettrans.RunContext(ctx, g, nettrans.Config{
-			Bandwidth: opts.Bandwidth,
-			MaxRounds: opts.MaxRounds,
-			Shards:    opts.Shards,
-			Observer:  opts.Observer,
-		}, program)
+		if opts.Cluster != nil {
+			// Distributed mode: the workers run the program; the driver
+			// partitions identically, merges their stats, and scatters
+			// their port lists into the same slice the local engines
+			// fill, so verification below is engine-agnostic.
+			var dres *cluster.DispatchResult
+			dres, err = cluster.Dispatch(ctx, g, opts.Cluster, cluster.DispatchOptions{
+				Algorithm: opts.Algorithm.String(),
+				Root:      opts.Root,
+				FixedK:    opts.FixedK,
+				Bandwidth: opts.Bandwidth,
+				MaxRounds: opts.MaxRounds,
+				Observer:  opts.Observer,
+			})
+			if err == nil {
+				stats = dres.Stats
+				copy(ports, dres.Ports)
+				res.K = dres.K
+				res.BoruvkaPhases = dres.BoruvkaPhases
+			}
+		} else {
+			stats, err = nettrans.RunContext(ctx, g, nettrans.Config{
+				Bandwidth: opts.Bandwidth,
+				MaxRounds: opts.MaxRounds,
+				Shards:    opts.Shards,
+				Observer:  opts.Observer,
+			}, program)
+		}
 	default:
 		return nil, fmt.Errorf("congestmst: unknown engine %v", opts.Engine)
 	}

@@ -25,11 +25,20 @@ type ClusterRow struct {
 	Sockets         int     `json:"sockets"`
 	Rounds          int64   `json:"rounds"`
 	Messages        int64   `json:"messages"`
+	Reconnects      int64   `json:"reconnects"`
 	LockstepSeconds float64 `json:"lockstep_seconds"`
 	ClusterSeconds  float64 `json:"cluster_seconds"`
 	Slowdown        float64 `json:"slowdown"`
 	StatsMatch      bool    `json:"stats_match"`
 }
+
+// netProbe records the cluster run's socket account so the table can
+// report reconnect activity (a loopback sweep should show zero).
+type netProbe struct{ sample congestmst.NetSample }
+
+func (p *netProbe) OnRound(congestmst.RoundEvent) {}
+func (p *netProbe) OnPhase(congestmst.PhaseEvent) {}
+func (p *netProbe) OnNet(ns congestmst.NetSample) { p.sample = ns }
 
 // E12ClusterTransport races the TCP cluster engine against the
 // lockstep simulator on the paper's algorithm over square grids
@@ -50,7 +59,7 @@ func E12ClusterTransport(full bool) (*Table, error) {
 		ID:    "e12",
 		Title: fmt.Sprintf("TCP cluster vs lockstep on square grids (shards = %d, sockets = %d)", shards, shards*(shards-1)/2),
 		Claim: "the cluster engine reports bit-identical Rounds/Messages/ByKind over real TCP and stays within 10x of lockstep wall-clock",
-		Columns: []string{"grid", "n", "m", "rounds", "msgs",
+		Columns: []string{"grid", "n", "m", "rounds", "msgs", "reconn",
 			"lockstep s", "cluster s", "slowdown", "stats equal"},
 	}
 	var rows []ClusterRow
@@ -66,8 +75,10 @@ func E12ClusterTransport(full bool) (*Table, error) {
 		}
 		lockSec := time.Since(lockStart).Seconds()
 		cluStart := time.Now()
+		probe := &netProbe{}
 		clu, err := congestmst.RunContext(BaseContext, g, congestmst.Options{
 			Engine: congestmst.Cluster, Shards: shards, Verify: congestmst.VerifyOff,
+			Observer: probe,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster %dx%d: %w", rc[0], rc[1], err)
@@ -83,6 +94,7 @@ func E12ClusterTransport(full bool) (*Table, error) {
 			Rows: rc[0], Cols: rc[1], N: g.N(), M: g.M(),
 			Shards: shards, Sockets: shards * (shards - 1) / 2,
 			Rounds: lock.Rounds, Messages: lock.Messages,
+			Reconnects:      probe.sample.Reconnects,
 			LockstepSeconds: lockSec, ClusterSeconds: cluSec,
 			Slowdown:   cluSec / lockSec,
 			StatsMatch: match,
@@ -90,7 +102,7 @@ func E12ClusterTransport(full bool) (*Table, error) {
 		rows = append(rows, row)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%dx%d", rc[0], rc[1]), di(g.N()), di(g.M()),
-			d(lock.Rounds), d(lock.Messages),
+			d(lock.Rounds), d(lock.Messages), d(probe.sample.Reconnects),
 			fmt.Sprintf("%.3f", lockSec), fmt.Sprintf("%.3f", cluSec),
 			f2(row.Slowdown), matchStr,
 		})

@@ -115,4 +115,22 @@ type NetSample struct {
 	// DialRetries counts the attempts that failed transiently and were
 	// retried.
 	Dials, DialRetries int64
+	// Reconnects counts mid-run connection re-establishments (a mesh
+	// socket broke and the transport healed it transparently);
+	// ReplayedFrames counts the message frames retransmitted on the
+	// fresh connections (the receiver deduplicates them by round, so
+	// replays never perturb the CONGEST statistics).
+	Reconnects, ReplayedFrames int64
+	// RTTs holds one round-trip measurement per dialed mesh connection
+	// (TCP connect + hello/ack exchange), taken when the connection was
+	// last established. Sorted by (Shard, Peer). Empty when the mesh
+	// held no dialed connections.
+	RTTs []PeerRTT
+}
+
+// PeerRTT is one dialed mesh connection's last measured round-trip:
+// Shard dialed Peer and waited for the hello acknowledgement.
+type PeerRTT struct {
+	Shard, Peer int
+	Nanos       int64
 }

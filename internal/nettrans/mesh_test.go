@@ -1,0 +1,155 @@
+package nettrans
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"congestmst/internal/congest"
+	"congestmst/internal/ghs"
+	"congestmst/internal/graph"
+	"congestmst/internal/verify"
+)
+
+// serveMesh is a minimal worker listener: it reads the MSH1 magic and
+// hello off every inbound connection and routes it to the mesh —
+// exactly what cmd/mstshard's listener does for mesh traffic.
+func serveMesh(t *testing.T, ln net.Listener, m *Mesh) {
+	t.Helper()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			var magic [4]byte
+			if _, err := io.ReadFull(conn, magic[:]); err != nil || magic != MeshMagic {
+				conn.Close()
+				return
+			}
+			h, err := ReadMeshHello(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			if err := m.Accept(h, conn); err != nil {
+				conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// TestMeshTwoWorkers runs one cluster split across two Mesh instances,
+// each behind its own TCP listener — the worker-mode topology — and
+// asserts the merged stats are bit-identical to the lockstep engine,
+// which is the acceptance bar for the distributed driver.
+func TestMeshTwoWorkers(t *testing.T) {
+	g, err := graph.RandomConnected(16, 40, graph.GenOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nshards = 4
+	if eff := EffectiveShards(g.N(), nshards); eff != nshards {
+		t.Fatalf("EffectiveShards(%d, %d) = %d", g.N(), nshards, eff)
+	}
+
+	ports := make([][]int, g.N())
+	var mu sync.Mutex
+	program := func(ctx congest.Context) {
+		res := ghs.Run(ctx)
+		mu.Lock()
+		ports[ctx.ID()] = res.MSTPorts
+		mu.Unlock()
+	}
+	want := lockstepStats(t, g, 1, program)
+	for i := range ports {
+		ports[i] = nil
+	}
+
+	// Two "processes": worker A hosts shards 0-1, worker B shards 2-3.
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnA.Close()
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB.Close()
+	addrs := []string{lnA.Addr().String(), lnA.Addr().String(), lnB.Addr().String(), lnB.Addr().String()}
+	cfg := Config{DialTimeout: 5 * time.Second}
+	const runID = 0xfeed
+
+	mA, err := NewMesh(g, cfg, Topology{
+		NShards: nshards, Addrs: addrs, Local: []bool{true, true, false, false}, RunID: runID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mA.Close()
+	mB, err := NewMesh(g, cfg, Topology{
+		NShards: nshards, Addrs: addrs, Local: []bool{false, false, true, true}, RunID: runID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mB.Close()
+	go serveMesh(t, lnA, mA)
+	go serveMesh(t, lnB, mB)
+
+	type result struct {
+		stats *congest.Stats
+		err   error
+	}
+	ch := make(chan result, 2)
+	for _, m := range []*Mesh{mA, mB} {
+		go func(m *Mesh) {
+			stats, err := m.Run(context.Background(), program)
+			ch <- result{stats, err}
+		}(m)
+	}
+	merged := &congest.Stats{}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatalf("worker run: %v", r.err)
+			}
+			if r.stats.Rounds > merged.Rounds {
+				merged.Rounds = r.stats.Rounds
+			}
+			merged.Messages += r.stats.Messages
+			for k, n := range r.stats.ByKind {
+				merged.ByKind[k] += n
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("two-worker mesh hung")
+		}
+	}
+
+	if *merged != *want {
+		t.Errorf("merged stats differ from lockstep: rounds %d vs %d, messages %d vs %d",
+			merged.Rounds, want.Rounds, merged.Messages, want.Messages)
+	}
+	if err := verify.CheckMST(g, ports); err != nil {
+		t.Errorf("two-worker MST invalid: %v", err)
+	}
+	ns := mA.NetSample()
+	// Worker A: pair (0,1) local (1 socket) + links 0-2, 0-3, 1-2, 1-3
+	// crossing to worker B (4 sockets).
+	if ns.Sockets != 5 {
+		t.Errorf("worker A holds %d sockets, want 5", ns.Sockets)
+	}
+	// The higher shard id dials, so A's only dialed connection is 1→0;
+	// B dials its five pairs with shards 2 and 3.
+	if len(ns.RTTs) != 1 {
+		t.Errorf("worker A measured %d dial RTTs, want 1 (link 1→0)", len(ns.RTTs))
+	}
+	if nsB := mB.NetSample(); len(nsB.RTTs) != 5 {
+		t.Errorf("worker B measured %d dial RTTs, want 5", len(nsB.RTTs))
+	}
+}

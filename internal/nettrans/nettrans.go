@@ -43,10 +43,8 @@ package nettrans
 import (
 	"container/heap"
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sort"
 	"sync"
@@ -73,6 +71,26 @@ type Config struct {
 	// MaxDials bounds the number of concurrent dials while the shard
 	// mesh is established. Zero means 16.
 	MaxDials int
+	// DialTimeout bounds each connection attempt and its hello
+	// exchange, and is the base of the accepting side's wait window.
+	// Zero means 10 seconds.
+	DialTimeout time.Duration
+	// ReadTimeout bounds how long an inbound connection may take to
+	// present its hello before the accept path drops it. Zero means
+	// DialTimeout.
+	ReadTimeout time.Duration
+	// MaxDialAttempts bounds how many times one connection (dial or
+	// redial after a mid-run fault) is attempted before the link is
+	// declared dead with a *PeerError. Zero means 3.
+	MaxDialAttempts int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between attempts. Zero means 25 milliseconds.
+	RetryBackoff time.Duration
+	// ChaosCloseAfter, when positive, closes the connection under the
+	// N-th successfully written batch — a deterministic fault-injection
+	// hook for exercising the reconnect path in tests and smoke runs.
+	// Zero (the default) disables it.
+	ChaosCloseAfter int64
 	// Observer, when non-nil, receives round events (emitted by shard 0
 	// with best-effort global active counts, exact cumulative message
 	// totals at the final event) and, for congest.ShardObserver /
@@ -116,8 +134,48 @@ func (c Config) maxDials() int {
 	return c.MaxDials
 }
 
-// dialTimeout bounds each loopback dial and hello exchange during setup.
-const dialTimeout = 10 * time.Second
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.DialTimeout
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout <= 0 {
+		return c.dialTimeout()
+	}
+	return c.ReadTimeout
+}
+
+func (c Config) maxDialAttempts() int {
+	if c.MaxDialAttempts <= 0 {
+		return 3
+	}
+	return c.MaxDialAttempts
+}
+
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 25 * time.Millisecond
+	}
+	return c.RetryBackoff
+}
+
+// acceptWindow is how long the accepting side of a link waits for the
+// peer's (re)dial: the peer's full attempt budget — every dial timeout
+// plus every backoff — plus one dial timeout of slack for scheduling
+// and hello routing.
+func (c Config) acceptWindow() time.Duration {
+	attempts := c.maxDialAttempts()
+	w := time.Duration(attempts+1) * c.dialTimeout()
+	backoff := c.retryBackoff()
+	for i := 1; i < attempts; i++ {
+		w += backoff + backoff/2
+		backoff *= 2
+	}
+	return w
+}
 
 // errAborted unwinds vertex goroutines after a failure; it never
 // escapes the package.
@@ -141,8 +199,9 @@ func RunContext(ctx context.Context, g *graph.Graph, cfg Config, program func(co
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("nettrans: run cancelled: %w", err)
 	}
-	c, err := newCluster(ctx, g, cfg)
-	if err != nil {
+	c := newCluster(g, cfg, nil)
+	if err := c.connect(ctx); err != nil {
+		c.closeAll()
 		return nil, err
 	}
 	return c.run(ctx, program)
@@ -180,15 +239,10 @@ type nodeState struct {
 	gen    int64
 }
 
-// link is this shard's endpoint of the connection shared with one peer
-// shard: one writer (the shard loop) and one reader goroutine decoding
-// inbound batches into the channel.
-type link struct {
-	conn    net.Conn
-	batches chan *batch
-}
-
-// cluster is one Run: the shard mesh plus shared failure state.
+// cluster is one Run: the shard mesh plus shared failure state. In a
+// distributed run each worker process holds one cluster hosting its
+// local shards (shards[i] is nil for remote shards); the in-process
+// engine hosts them all.
 type cluster struct {
 	g   *graph.Graph
 	csr *graph.CSR
@@ -198,16 +252,36 @@ type cluster struct {
 	shardSize int
 	shards    []*shard
 
+	// Placement: addrs[i] is the dialable address of the process
+	// hosting shard i (all the local listener in-process), local[i]
+	// whether shard i is hosted here, obsShard the lowest local shard
+	// (the round-event emitter). runID ties multi-process hellos to
+	// this run; remote marks worker mode (the owner feeds inbound
+	// connections through Mesh.Accept instead of a local listener).
+	addrs    []string
+	local    []bool
+	obsShard int
+	runID    uint64
+	remote   bool
+	listener net.Listener
+
+	// ctx is the link lifetime: derived from the run context at
+	// connect, cancelled at teardown, observed by dials and backoffs.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	closed    chan struct{}
 	closeOnce sync.Once
 
 	// Socket-level transport counters (always on: one atomic add per
 	// wire batch, not per message) plus the shared round-event
 	// accumulators the shards feed when an Observer is configured.
-	netBytesOut, netBytesIn   atomic.Int64
-	netFramesOut, netFramesIn atomic.Int64
-	dials, dialRetries        atomic.Int64
-	obsActive, obsMessages    atomic.Int64
+	netBytesOut, netBytesIn    atomic.Int64
+	netFramesOut, netFramesIn  atomic.Int64
+	dials, dialRetries         atomic.Int64
+	reconnects, replayedFrames atomic.Int64
+	obsActive, obsMessages     atomic.Int64
+	chaosLeft                  atomic.Int64
 
 	mu      sync.Mutex
 	failErr error
@@ -251,23 +325,50 @@ type shard struct {
 	busyNanos    int64
 }
 
-func newCluster(ctx context.Context, g *graph.Graph, cfg Config) (*cluster, error) {
+// newCluster builds the shard and link structures for one run without
+// touching the network; connect establishes the mesh. topo is nil for
+// the in-process engine (every shard local, loopback listener) and set
+// for one worker of a distributed run.
+func newCluster(g *graph.Graph, cfg Config, topo *Topology) *cluster {
 	n := g.N()
 	c := &cluster{
 		g:      g,
 		cfg:    cfg,
 		closed: make(chan struct{}),
 	}
+	c.chaosLeft.Store(cfg.ChaosCloseAfter)
 	if n == 0 {
-		return c, nil
+		return c
 	}
 	c.csr = g.CSR()
-	nShards := cfg.shards(n)
-	c.shardSize = (n + nShards - 1) / nShards
-	nShards = (n + c.shardSize - 1) / c.shardSize
+	var nShards int
+	if topo == nil {
+		nShards = cfg.shards(n)
+		c.shardSize = (n + nShards - 1) / nShards
+		nShards = (n + c.shardSize - 1) / c.shardSize
+		c.local = make([]bool, nShards)
+		for i := range c.local {
+			c.local[i] = true
+		}
+		c.addrs = make([]string, nShards) // filled when connect listens
+	} else {
+		nShards = topo.NShards
+		c.shardSize = (n + nShards - 1) / nShards
+		c.local = topo.Local
+		c.addrs = topo.Addrs
+		c.runID = topo.RunID
+		c.remote = true
+	}
 	c.nshards = nShards
+	c.obsShard = -1
 	c.shards = make([]*shard, nShards)
 	for i := range c.shards {
+		if !c.local[i] {
+			continue
+		}
+		if c.obsShard < 0 {
+			c.obsShard = i
+		}
 		s := &shard{
 			c:  c,
 			id: i,
@@ -277,172 +378,34 @@ func newCluster(ctx context.Context, g *graph.Graph, cfg Config) (*cluster, erro
 		s.nodes = make([]nodeState, s.hi-s.lo)
 		s.yields = make(chan int, s.hi-s.lo)
 		s.links = make([]*link, nShards)
+		for j := range s.links {
+			if j != i {
+				s.links[j] = newLink(c, i, j)
+			}
+		}
 		s.out = make([][]wireMsg, nShards)
 		s.live = s.hi - s.lo
 		c.shards[i] = s
 	}
-	if err := c.connect(ctx); err != nil {
-		c.closeAll()
-		return nil, err
-	}
-	return c, nil
+	return c
 }
 
 func (c *cluster) shardOf(v int) int { return v / c.shardSize }
 
-// connect establishes the shard mesh: every shard listens on loopback,
-// and for each pair the higher-id shard dials the lower, identifying
-// itself with a 4-byte hello. Dial concurrency is bounded by
-// cfg.maxDials, cancelling ctx aborts both the in-flight dials and the
-// blocked accepts, and on any failure every connection established so
-// far is closed before returning.
-func (c *cluster) connect(ctx context.Context) error {
-	ns := c.nshards
-	if ns <= 1 {
-		return nil
-	}
-	listeners := make([]net.Listener, ns)
-	defer func() {
-		for _, l := range listeners {
-			if l != nil {
-				l.Close()
-			}
-		}
-	}()
-	for i := 0; i < ns; i++ {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return fmt.Errorf("nettrans: listen for shard %d: %w", i, err)
-		}
-		listeners[i] = l
-	}
-	// Unblock every pending Accept if ctx fires mid-setup; the dials
-	// abort themselves through DialContext.
-	watchDone := make(chan struct{})
-	defer close(watchDone)
-	go func() {
-		select {
-		case <-ctx.Done():
-			for _, l := range listeners {
-				l.Close()
-			}
-		case <-watchDone:
-		}
-	}()
-
-	acceptErrs := make([]error, ns)
-	var acceptWG sync.WaitGroup
-	// Shard i accepts one dial from every higher-id shard.
-	for i := 0; i < ns-1; i++ {
-		acceptWG.Add(1)
-		go func(i int) {
-			defer acceptWG.Done()
-			for k := i + 1; k < ns; k++ {
-				conn, err := listeners[i].Accept()
-				if err != nil {
-					acceptErrs[i] = err
-					return
-				}
-				conn.SetReadDeadline(time.Now().Add(dialTimeout)) //lint:allow noclock socket read deadline, not algorithm state
-				var hello [4]byte
-				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					conn.Close()
-					acceptErrs[i] = fmt.Errorf("nettrans: shard %d hello: %w", i, err)
-					return
-				}
-				conn.SetReadDeadline(time.Time{})
-				j := int(binary.LittleEndian.Uint32(hello[:]))
-				if j <= i || j >= ns || c.shards[i].links[j] != nil {
-					conn.Close()
-					acceptErrs[i] = fmt.Errorf("nettrans: shard %d: bad hello from shard %d", i, j)
-					return
-				}
-				c.shards[i].links[j] = newLink(conn)
-			}
-		}(i)
-	}
-
-	dialErrs := make([]error, ns)
-	sem := make(chan struct{}, c.cfg.maxDials())
-	dialer := &net.Dialer{Timeout: dialTimeout}
-	var dialWG sync.WaitGroup
-	// Shard j dials every lower-id shard, at most maxDials in flight.
-	for j := 1; j < ns; j++ {
-		dialWG.Add(1)
-		go func(j int) {
-			defer dialWG.Done()
-			for i := 0; i < j; i++ {
-				sem <- struct{}{}
-				// A transient dial failure (kernel backlog overflow under
-				// a wide mesh, a slow accept) is retried with backoff
-				// before failing the run; the retries are counted so a
-				// flaky transport shows up in the NetSample even when the
-				// mesh eventually comes up.
-				var conn net.Conn
-				var err error
-				for attempt := 0; ; attempt++ {
-					c.dials.Add(1)
-					conn, err = dialer.DialContext(ctx, "tcp", listeners[i].Addr().String())
-					if err == nil || attempt >= 2 || ctx.Err() != nil {
-						break
-					}
-					c.dialRetries.Add(1)
-					time.Sleep(time.Duration(attempt+1) * 25 * time.Millisecond)
-				}
-				if err == nil {
-					var hello [4]byte
-					binary.LittleEndian.PutUint32(hello[:], uint32(j))
-					_, err = conn.Write(hello[:])
-					if err != nil {
-						conn.Close()
-					}
-				}
-				<-sem
-				if err != nil {
-					dialErrs[j] = fmt.Errorf("nettrans: shard %d dial shard %d: %w", j, i, err)
-					return
-				}
-				c.shards[j].links[i] = newLink(conn)
-			}
-		}(j)
-	}
-
-	dialWG.Wait()
-	if err := errors.Join(dialErrs...); err != nil {
-		// Unblock acceptors still waiting on dials that will never come.
-		for _, l := range listeners {
-			l.Close()
-		}
-		acceptWG.Wait()
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return fmt.Errorf("nettrans: run cancelled during dial: %w", ctxErr)
-		}
-		return err
-	}
-	acceptWG.Wait()
-	if err := errors.Join(acceptErrs...); err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return fmt.Errorf("nettrans: run cancelled during dial: %w", ctxErr)
-		}
-		return err
-	}
-	return nil
-}
-
-func newLink(conn net.Conn) *link {
-	// Capacity 2 suffices (a peer can run at most one agreed round
-	// ahead before it needs our announcement); 4 leaves slack so
-	// readers never stall the mesh.
-	return &link{conn: conn, batches: make(chan *batch, 4)}
-}
-
-// sockets reports how many TCP connections this endpoint of the mesh
-// holds (each shard pair contributes one connection counted once).
+// sockets reports how many TCP connections this process's endpoint of
+// the mesh holds: one per shard pair hosted entirely here (counted
+// once) plus one per link to a remote shard.
 func (c *cluster) sockets() int {
 	total := 0
 	for _, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		for j, l := range s.links {
-			if l != nil && j > s.id {
+			if l == nil {
+				continue
+			}
+			if !c.local[j] || j > s.id {
 				total++
 			}
 		}
@@ -450,15 +413,70 @@ func (c *cluster) sockets() int {
 	return total
 }
 
-// closeAll tears down every connection exactly once; safe to call from
-// any goroutine (failure propagation closes the whole mesh).
+// netSample snapshots the socket-level account of the run: counters,
+// plus the last hello RTT of every dialed connection in (shard, peer)
+// order.
+func (c *cluster) netSample() congest.NetSample {
+	ns := congest.NetSample{
+		Sockets:        c.sockets(),
+		BytesOut:       c.netBytesOut.Load(),
+		BytesIn:        c.netBytesIn.Load(),
+		FramesOut:      c.netFramesOut.Load(),
+		FramesIn:       c.netFramesIn.Load(),
+		Dials:          c.dials.Load(),
+		DialRetries:    c.dialRetries.Load(),
+		Reconnects:     c.reconnects.Load(),
+		ReplayedFrames: c.replayedFrames.Load(),
+	}
+	for _, s := range c.shards {
+		if s == nil {
+			continue
+		}
+		for _, l := range s.links {
+			if l == nil || !l.dials() {
+				continue
+			}
+			if rtt := l.rtt(); rtt > 0 {
+				ns.RTTs = append(ns.RTTs, congest.PeerRTT{Shard: l.self, Peer: l.peer, Nanos: rtt})
+			}
+		}
+	}
+	return ns
+}
+
+// chaosMaybe implements Config.ChaosCloseAfter: it closes conn under
+// the writer when the configured countdown of successfully written
+// batches reaches zero, deterministically exercising the reconnect
+// path. No-op (one atomic load) when the hook is disabled.
+func (c *cluster) chaosMaybe(conn net.Conn) {
+	if c.cfg.ChaosCloseAfter <= 0 {
+		return
+	}
+	if c.chaosLeft.Add(-1) == 0 {
+		conn.Close()
+	}
+}
+
+// closeAll tears down the mesh exactly once — every link, the pending
+// re-accepted connections, the listener and the link-lifetime context —
+// safe to call from any goroutine (failure propagation closes the whole
+// mesh).
 func (c *cluster) closeAll() {
 	c.closeOnce.Do(func() {
 		close(c.closed)
+		if c.cancel != nil {
+			c.cancel()
+		}
+		if c.listener != nil {
+			c.listener.Close()
+		}
 		for _, s := range c.shards {
+			if s == nil {
+				continue
+			}
 			for _, l := range s.links {
 				if l != nil {
-					l.conn.Close()
+					l.close()
 				}
 			}
 		}
@@ -503,13 +521,19 @@ func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*cong
 		}
 	}()
 	for _, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		for _, l := range s.links {
 			if l != nil {
-				go l.readLoop(c)
+				go l.readLoop()
 			}
 		}
 	}
 	for _, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		for v := s.lo; v < s.hi; v++ {
 			nd := &s.nodes[v-s.lo]
 			nd.ctx = newNode(s, v)
@@ -525,6 +549,9 @@ func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*cong
 	}
 	var wg sync.WaitGroup
 	for _, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(s *shard) {
 			defer wg.Done()
@@ -533,8 +560,14 @@ func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*cong
 	}
 	wg.Wait()
 
+	// Local shards only: in worker mode the driver merges workers'
+	// stats exactly as this loop merges shards (max of rounds, sum of
+	// messages), which is what keeps a distributed run bit-identical.
 	stats := &congest.Stats{}
 	for _, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		if s.busyRound > stats.Rounds {
 			stats.Rounds = s.busyRound
 		}
@@ -550,6 +583,9 @@ func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*cong
 		obs.OnRound(congest.RoundEvent{Round: stats.Rounds, Messages: stats.Messages})
 		if so, ok := obs.(congest.ShardObserver); ok {
 			for _, s := range c.shards {
+				if s == nil {
+					continue
+				}
 				so.OnShardSample(congest.ShardSample{
 					Shard:     s.id,
 					Vertices:  s.hi - s.lo,
@@ -560,15 +596,7 @@ func (c *cluster) run(ctx context.Context, program func(congest.Context)) (*cong
 			}
 		}
 		if no, ok := obs.(congest.NetObserver); ok {
-			no.OnNet(congest.NetSample{
-				Sockets:     c.sockets(),
-				BytesOut:    c.netBytesOut.Load(),
-				BytesIn:     c.netBytesIn.Load(),
-				FramesOut:   c.netFramesOut.Load(),
-				FramesIn:    c.netFramesIn.Load(),
-				Dials:       c.dials.Load(),
-				DialRetries: c.dialRetries.Load(),
-			})
+			no.OnNet(c.netSample())
 		}
 	}
 	return stats, c.err()
@@ -633,14 +661,15 @@ func (s *shard) loop() {
 		}
 		if obs != nil {
 			// Every shard folds its per-round deltas into the shared
-			// accumulators; shard 0 emits the round event. Peers can run
-			// one agreed round ahead of shard 0's read, so Active is a
-			// best-effort sample — the final event in run() pins the
-			// cumulative message total exactly.
+			// accumulators; the lowest local shard emits the round event.
+			// Peers can run one agreed round ahead of the emitter's read,
+			// so Active is a best-effort sample (process-local in worker
+			// mode) — the final event in run() pins the cumulative message
+			// total exactly.
 			c.obsActive.Add(int64(len(wakes)))
 			c.obsMessages.Add(s.messages - s.prevMessages)
 			s.prevMessages = s.messages
-			if s.id == 0 {
+			if s.id == c.obsShard {
 				active := c.obsActive.Load()
 				obs.OnRound(congest.RoundEvent{
 					Round:     s.round,
@@ -795,38 +824,47 @@ func (s *shard) proposal() int64 {
 }
 
 // flush writes one batch to every peer shard: the staged frames, then
-// the calendar announcement and live count for this agreed round.
+// the calendar announcement and live count for this agreed round. A
+// broken connection is transparently re-established and the batch
+// replayed by the link; only an exhausted retry budget fails the run.
 func (s *shard) flush(next int64) error {
 	for j := 0; j < s.c.nshards; j++ {
 		if j == s.id {
 			continue
 		}
 		s.wbuf = appendBatch(s.wbuf[:0], s.round, next, uint32(s.live), s.out[j])
-		if _, err := s.links[j].conn.Write(s.wbuf); err != nil {
+		if err := s.links[j].send(s.wbuf, int64(len(s.out[j]))); err != nil {
 			return fmt.Errorf("nettrans: shard %d write to shard %d: %w", s.id, j, err)
 		}
-		s.c.netBytesOut.Add(int64(len(s.wbuf)))
-		s.c.netFramesOut.Add(int64(len(s.out[j])))
 		s.out[j] = s.out[j][:0]
 	}
 	return nil
 }
 
 // recvBatch blocks for peer shard j's batch for the current agreed
-// round, ingests its frames, and returns its announcement. The mesh
-// closing mid-wait means another shard aborted the run.
+// round, ingests its frames, and returns its announcement. Batches for
+// past rounds are duplicates replayed by the peer's reconnect path and
+// are skipped, which is what makes the at-least-once replay exactly-
+// once at ingestion. The mesh closing mid-wait means another shard
+// aborted the run.
 func (s *shard) recvBatch(j int) (*batch, error) {
 	var b *batch
-	select {
-	case b = <-s.links[j].batches:
-	case <-s.c.closed:
-		if err := s.c.err(); err != nil {
-			return nil, err
+	for {
+		select {
+		case b = <-s.links[j].batches:
+		case <-s.c.closed:
+			if err := s.c.err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("nettrans: shard %d: mesh closed while waiting for shard %d", s.id, j)
 		}
-		return nil, fmt.Errorf("nettrans: shard %d: mesh closed while waiting for shard %d", s.id, j)
-	}
-	if b.err != nil {
-		return nil, fmt.Errorf("nettrans: shard %d read from shard %d: %w", s.id, j, b.err)
+		if b.err != nil {
+			return nil, fmt.Errorf("nettrans: shard %d read from shard %d: %w", s.id, j, b.err)
+		}
+		if b.round < s.round {
+			continue // replayed duplicate of an already-ingested round
+		}
+		break
 	}
 	if b.round != s.round {
 		return nil, fmt.Errorf("nettrans: shard %d: round skew from shard %d: got %d at %d",
@@ -890,31 +928,6 @@ func (s *shard) runNode(nd *nodeState, program func(congest.Context)) {
 	}
 	nd.ctx.round = w.round
 	program(nd.ctx)
-}
-
-// readLoop decodes inbound batches off one connection until it breaks
-// or the cluster closes.
-func (l *link) readLoop(c *cluster) {
-	r := newBatchReader(l.conn)
-	for {
-		b, err := r.read()
-		if err == nil {
-			c.netBytesIn.Add(int64(4 + batchHeaderSize + len(b.msgs)*frameSize))
-			c.netFramesIn.Add(int64(len(b.msgs)))
-		}
-		if err != nil {
-			select {
-			case l.batches <- &batch{err: err}:
-			case <-c.closed:
-			}
-			return
-		}
-		select {
-		case l.batches <- b:
-		case <-c.closed:
-			return
-		}
-	}
 }
 
 // Node implements congest.Context for one cluster vertex. All methods

@@ -321,8 +321,8 @@ func TestSocketBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := newCluster(context.Background(), g, Config{Shards: 4})
-	if err != nil {
+	c := newCluster(g, Config{Shards: 4}, nil)
+	if err := c.connect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := c.sockets(), 4*3/2; got != want {
@@ -353,40 +353,51 @@ func TestProgramPanicOverTCP(t *testing.T) {
 	}
 }
 
-// TestFaultInjectionConnKill severs one shard-pair connection in the
-// middle of a long run; Run must return an error instead of hanging,
-// and every goroutine must unwind.
+// TestFaultInjectionConnKill severs one mesh connection mid-run (the
+// chaos hook closes the socket under a successfully written batch) and
+// asserts the reconnect path heals it transparently: the run completes
+// with stats bit-identical to the lockstep engine and the NetSample
+// records the recovery. The exhausted-retries counterpart (a peer that
+// never comes back must surface a typed *PeerError, not a hang) lives
+// in reconnect_test.go.
 func TestFaultInjectionConnKill(t *testing.T) {
 	g := graph.Ring(12, graph.GenOptions{Seed: 3})
-	c, err := newCluster(context.Background(), g, Config{Shards: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		c.shards[1].links[0].conn.Close() // the fault: a vertex's transport dies mid-run
-	}()
-	type result struct {
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		_, err := c.run(context.Background(), func(ctx congest.Context) {
-			for { // step forever; only the injected fault can end this
-				ctx.Step()
-			}
-		})
-		ch <- result{err}
-	}()
-	select {
-	case r := <-ch:
-		if r.err == nil {
-			t.Fatal("severed connection not reported")
+	program := func(ctx congest.Context) {
+		// A few rounds of real traffic so batches keep flowing across
+		// the healed connection.
+		for i := 0; i < 8; i++ {
+			ctx.Send(0, congest.Message{Kind: 1, A: int64(i)})
+			ctx.Send(1, congest.Message{Kind: 1, A: int64(i)})
+			ctx.Step()
 		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("severed connection hung the cluster")
+	}
+	want := lockstepStats(t, g, 2, program)
+	var net congest.NetSample
+	obs := &netRecorder{sink: &net}
+	got, err := runWithTimeout(t, 30*time.Second, g, Config{
+		Shards:          4,
+		Bandwidth:       2,
+		ChaosCloseAfter: 3,
+		Observer:        obs,
+	}, program)
+	if err != nil {
+		t.Fatalf("Run with severed connection: %v", err)
+	}
+	if *got != *want {
+		t.Errorf("stats diverged after reconnect: got rounds=%d messages=%d, want rounds=%d messages=%d",
+			got.Rounds, got.Messages, want.Rounds, want.Messages)
+	}
+	if net.Reconnects < 1 {
+		t.Errorf("Reconnects = %d, want >= 1 (the chaos hook closed a socket)", net.Reconnects)
 	}
 }
+
+// netRecorder captures the final NetSample of a run.
+type netRecorder struct{ sink *congest.NetSample }
+
+func (r *netRecorder) OnRound(congest.RoundEvent) {}
+func (r *netRecorder) OnPhase(congest.PhaseEvent) {}
+func (r *netRecorder) OnNet(ns congest.NetSample) { *r.sink = ns }
 
 // TestDeadlockDetectedOverTCP: all programs blocked in Recv with no
 // traffic possible must surface as ErrDeadlock, agreed by every shard.

@@ -31,6 +31,11 @@ type JobRequest struct {
 	FixedK    int      `json:"fixed_k,omitempty"`
 	Workers   int      `json:"workers,omitempty"` // parallel engine pool size
 	Shards    int      `json:"shards,omitempty"`  // cluster engine shard count
+	// Remote dispatches a cluster-engine job to the mstshard workers the
+	// server was configured with (mstserved -cluster). Remote and
+	// in-process cluster runs are bit-identical, so they share one result
+	// cache line; set no_cache to force the mesh to actually run.
+	Remote bool `json:"remote,omitempty"`
 	// TimeoutMillis bounds the run once it starts executing; 0 means no
 	// per-job deadline (the server-wide limit, if any, still applies).
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
@@ -191,6 +196,11 @@ func (j *job) run(s *Server) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.req.TimeoutMillis)*time.Millisecond)
 		defer cancel()
+	}
+	if j.opts.Engine == congestmst.Cluster {
+		// Every cluster run (loopback mesh or remote dispatch) feeds the
+		// server's transport counters and RTT histogram.
+		j.opts.Observer = &netTap{s: s}
 	}
 	start := time.Now()
 	res, err := congestmst.RunContext(ctx, g, j.opts)

@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 
+	"congestmst"
 	"congestmst/internal/obs"
 )
 
@@ -19,6 +20,9 @@ type metrics struct {
 	// job, including cache hits and queued cancellations.
 	jobRunSeconds     *obs.Histogram
 	jobLatencySeconds *obs.Histogram
+	// clusterRTTSeconds observes one mesh-link handshake RTT per
+	// established cluster connection (dial start to hello ack).
+	clusterRTTSeconds *obs.Histogram
 }
 
 func newMetrics(s *Server) *metrics {
@@ -40,6 +44,11 @@ func newMetrics(s *Server) *metrics {
 	})
 	reg.CounterFunc("mstserved_patches_applied_total", "PATCH /graphs requests that produced a patched graph.", s.patchesApplied.Load)
 	reg.CounterFunc("mstserved_cache_transferred_total", "Cache lines transferred to patched digests by unchanged repairs.", s.cacheTransferred.Load)
+
+	reg.CounterFunc("mstserved_cluster_dials_total", "Mesh connections dialed by cluster-engine runs.", s.clusterDials.Load)
+	reg.CounterFunc("mstserved_cluster_dial_retries_total", "Mesh dial attempts that were retried after a failure.", s.clusterDialRetries.Load)
+	reg.CounterFunc("mstserved_cluster_reconnects_total", "Mesh connections re-established after a mid-run failure.", s.clusterReconnects.Load)
+	reg.CounterFunc("mstserved_cluster_replayed_frames_total", "Frames replayed to peers during mesh reconnects.", s.clusterReplayedFrames.Load)
 
 	reg.GaugeFunc("mstserved_jobs_queued", "Jobs admitted and waiting for a worker.", func() int64 {
 		q, _ := s.countByStatus()
@@ -70,6 +79,27 @@ func newMetrics(s *Server) *metrics {
 		jobLatencySeconds: reg.Histogram("mstserved_job_latency_seconds",
 			"Submit-to-terminal latency of jobs (cache hits observe ~0).",
 			obs.ExpBuckets(0.001, 4, 10)),
+		clusterRTTSeconds: reg.Histogram("mstserved_cluster_rtt_seconds",
+			"Mesh-link handshake round-trip times (dial start to hello ack).",
+			obs.ExpBuckets(0.0001, 4, 8)), // 0.1ms .. ~1.6s
+	}
+}
+
+// netTap feeds one cluster run's socket account into the server's
+// transport counters. It satisfies congestmst.Observer so it can ride
+// Options.Observer; the round/phase streams are discarded.
+type netTap struct{ s *Server }
+
+func (t *netTap) OnRound(congestmst.RoundEvent) {}
+func (t *netTap) OnPhase(congestmst.PhaseEvent) {}
+
+func (t *netTap) OnNet(ns congestmst.NetSample) {
+	t.s.clusterDials.Add(ns.Dials)
+	t.s.clusterDialRetries.Add(ns.DialRetries)
+	t.s.clusterReconnects.Add(ns.Reconnects)
+	t.s.clusterReplayedFrames.Add(ns.ReplayedFrames)
+	for _, r := range ns.RTTs {
+		t.s.met.clusterRTTSeconds.Observe(float64(r.Nanos) / 1e9)
 	}
 }
 

@@ -51,24 +51,29 @@ func TestMetricsExposition(t *testing.T) {
 
 	body, before := scrapeMetrics(t, ts.URL)
 	wantTypes := map[string]string{
-		"mstserved_jobs_submitted_total":    "counter",
-		"mstserved_jobs_done_total":         "counter",
-		"mstserved_jobs_failed_total":       "counter",
-		"mstserved_jobs_canceled_total":     "counter",
-		"mstserved_jobs_rejected_total":     "counter",
-		"mstserved_cache_served_total":      "counter",
-		"mstserved_cache_hits_total":        "counter",
-		"mstserved_cache_misses_total":      "counter",
-		"mstserved_patches_applied_total":   "counter",
-		"mstserved_cache_transferred_total": "counter",
-		"mstserved_jobs_queued":             "gauge",
-		"mstserved_jobs_running":            "gauge",
-		"mstserved_workers":                 "gauge",
-		"mstserved_queue_capacity":          "gauge",
-		"mstserved_cache_entries":           "gauge",
-		"mstserved_graphs_stored":           "gauge",
-		"mstserved_job_run_seconds":         "histogram",
-		"mstserved_job_latency_seconds":     "histogram",
+		"mstserved_jobs_submitted_total":          "counter",
+		"mstserved_jobs_done_total":               "counter",
+		"mstserved_jobs_failed_total":             "counter",
+		"mstserved_jobs_canceled_total":           "counter",
+		"mstserved_jobs_rejected_total":           "counter",
+		"mstserved_cache_served_total":            "counter",
+		"mstserved_cache_hits_total":              "counter",
+		"mstserved_cache_misses_total":            "counter",
+		"mstserved_patches_applied_total":         "counter",
+		"mstserved_cache_transferred_total":       "counter",
+		"mstserved_cluster_dials_total":           "counter",
+		"mstserved_cluster_dial_retries_total":    "counter",
+		"mstserved_cluster_reconnects_total":      "counter",
+		"mstserved_cluster_replayed_frames_total": "counter",
+		"mstserved_cluster_rtt_seconds":           "histogram",
+		"mstserved_jobs_queued":                   "gauge",
+		"mstserved_jobs_running":                  "gauge",
+		"mstserved_workers":                       "gauge",
+		"mstserved_queue_capacity":                "gauge",
+		"mstserved_cache_entries":                 "gauge",
+		"mstserved_graphs_stored":                 "gauge",
+		"mstserved_job_run_seconds":               "histogram",
+		"mstserved_job_latency_seconds":           "histogram",
 	}
 	for name, typ := range wantTypes {
 		want := fmt.Sprintf("# TYPE %s %s\n", name, typ)

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"congestmst"
+	"congestmst/internal/cluster"
+)
+
+// remoteServer brings up count mstshard workers (with opts) plus a
+// service configured to dispatch shards across them round-robin.
+func remoteServer(t *testing.T, count, shards int, wopts cluster.WorkerOptions) (*Server, string) {
+	t.Helper()
+	cfg := &congestmst.ClusterConfig{Shards: shards, DialTimeout: 5 * time.Second}
+	cfg.Entries = make([]congestmst.ClusterEntry, shards)
+	for i := 0; i < count; i++ {
+		w, err := cluster.NewWorker("127.0.0.1:0", wopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		for s := i; s < shards; s += count {
+			cfg.Entries[s] = congestmst.ClusterEntry{Shard: s, Bind: w.Addr()}
+		}
+	}
+	svc, ts := newTestServer(t, Config{Workers: 2, Cluster: cfg})
+	return svc, ts.URL
+}
+
+// TestRemoteJob submits a remote cluster job against real mstshard
+// workers and checks the result matches the in-process engines and the
+// transport counters reached /stats and /metrics.
+func TestRemoteJob(t *testing.T) {
+	_, base := remoteServer(t, 2, 4, cluster.WorkerOptions{})
+
+	var local JobView
+	job := `{"gen":{"type":"random","n":64,"m":200,"seed":9},"algorithm":"elkin"}`
+	if code := doJSON(t, http.MethodPost, base+"/jobs", job, &local); code != http.StatusAccepted {
+		t.Fatalf("POST local job = %d", code)
+	}
+	localDone := pollJob(t, base, local.ID, 30*time.Second)
+
+	var remote JobView
+	job = `{"gen":{"type":"random","n":64,"m":200,"seed":9},"algorithm":"elkin","engine":"cluster","remote":true,"no_cache":true}`
+	if code := doJSON(t, http.MethodPost, base+"/jobs", job, &remote); code != http.StatusAccepted {
+		t.Fatalf("POST remote job = %d", code)
+	}
+	remoteDone := pollJob(t, base, remote.ID, 60*time.Second)
+	if remoteDone.Status != StatusDone {
+		t.Fatalf("remote job %s: %s (%s)", remote.ID, remoteDone.Status, remoteDone.Error)
+	}
+	if remoteDone.Result.Weight != localDone.Result.Weight ||
+		remoteDone.Result.Rounds != localDone.Result.Rounds ||
+		remoteDone.Result.Messages != localDone.Result.Messages {
+		t.Errorf("remote result diverged: weight %d/%d rounds %d/%d messages %d/%d",
+			remoteDone.Result.Weight, localDone.Result.Weight,
+			remoteDone.Result.Rounds, localDone.Result.Rounds,
+			remoteDone.Result.Messages, localDone.Result.Messages)
+	}
+
+	var stats map[string]any
+	if code := doJSON(t, http.MethodGet, base+"/stats", "", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if got := stats["cluster_dials"].(float64); got < 1 {
+		t.Errorf("cluster_dials = %v, want >= 1 after a remote run", got)
+	}
+	_, vals := scrapeMetrics(t, base)
+	if got := vals["mstserved_cluster_dials_total"]; got < 1 {
+		t.Errorf("mstserved_cluster_dials_total = %v, want >= 1", got)
+	}
+	if got := vals["mstserved_cluster_rtt_seconds_count"]; got < 1 {
+		t.Errorf("mstserved_cluster_rtt_seconds_count = %v, want >= 1", got)
+	}
+}
+
+// TestRemoteJobChaosFeedsReconnectCounter runs a remote job against
+// workers that sever a mesh connection mid-run and asserts the healed
+// run still succeeds and the reconnect shows up in /metrics.
+func TestRemoteJobChaosFeedsReconnectCounter(t *testing.T) {
+	_, base := remoteServer(t, 2, 4, cluster.WorkerOptions{ChaosCloseAfter: 2})
+
+	var v JobView
+	job := `{"gen":{"type":"random","n":64,"m":200,"seed":11},"algorithm":"ghs","engine":"cluster","remote":true,"no_cache":true}`
+	if code := doJSON(t, http.MethodPost, base+"/jobs", job, &v); code != http.StatusAccepted {
+		t.Fatalf("POST remote job = %d", code)
+	}
+	done := pollJob(t, base, v.ID, 60*time.Second)
+	if done.Status != StatusDone {
+		t.Fatalf("chaos remote job: %s (%s)", done.Status, done.Error)
+	}
+	_, vals := scrapeMetrics(t, base)
+	if got := vals["mstserved_cluster_reconnects_total"]; got < 1 {
+		t.Errorf("mstserved_cluster_reconnects_total = %v, want >= 1", got)
+	}
+}
+
+// TestRemoteJobValidation: remote submissions need a configured
+// cluster and the cluster engine.
+func TestRemoteJobValidation(t *testing.T) {
+	t.Run("no-cluster-config", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Workers: 1})
+		var v map[string]any
+		job := `{"gen":{"type":"ring","n":8},"engine":"cluster","remote":true}`
+		if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", job, &v); code != http.StatusBadRequest {
+			t.Fatalf("POST = %d, want 400", code)
+		}
+	})
+	t.Run("wrong-engine", func(t *testing.T) {
+		_, base := remoteServer(t, 1, 2, cluster.WorkerOptions{})
+		var v map[string]any
+		job := `{"gen":{"type":"ring","n":8},"engine":"lockstep","remote":true}`
+		if code := doJSON(t, http.MethodPost, base+"/jobs", job, &v); code != http.StatusBadRequest {
+			t.Fatalf("POST = %d, want 400", code)
+		}
+	})
+}

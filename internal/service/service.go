@@ -69,6 +69,10 @@ type Config struct {
 	// an arbitrarily large build.
 	MaxGenVertices int64
 	MaxGenEdges    int64
+	// Cluster, when non-nil, is the mstshard worker placement that jobs
+	// submitted with "remote": true run against (engine must be
+	// cluster). Without it, remote submissions are rejected with 400.
+	Cluster *congestmst.ClusterConfig
 }
 
 func (c Config) workers() int {
@@ -160,6 +164,14 @@ type Server struct {
 
 	patchesApplied   atomic.Int64
 	cacheTransferred atomic.Int64
+
+	// Cluster transport account, accumulated across every cluster-engine
+	// run (in-process meshes and remote dispatches alike) by the
+	// NetObserver each such job attaches.
+	clusterDials          atomic.Int64
+	clusterDialRetries    atomic.Int64
+	clusterReconnects     atomic.Int64
+	clusterReplayedFrames atomic.Int64
 }
 
 // New starts a Server (its worker pool runs until Close).
@@ -373,6 +385,17 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		Bandwidth: req.Bandwidth,
 		Root:      req.Root,
 		FixedK:    req.FixedK,
+	}
+	if req.Remote {
+		if s.cfg.Cluster == nil {
+			writeErr(w, http.StatusBadRequest, "remote jobs need a server cluster config (start mstserved with -cluster)")
+			return
+		}
+		if eng != congestmst.Cluster {
+			writeErr(w, http.StatusBadRequest, "remote jobs require engine \"cluster\" (got %q)", eng)
+			return
+		}
+		opts.Cluster = s.cfg.Cluster
 	}
 	if err := opts.Validate(gn); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -594,6 +617,9 @@ type statsSnapshot struct {
 	failed, canceled int64
 	rejected, served int64
 	patches, xfer    int64
+
+	clusterDials, clusterRetries       int64
+	clusterReconnects, clusterReplayed int64
 }
 
 func (s *Server) snapshot() statsSnapshot {
@@ -610,6 +636,10 @@ func (s *Server) snapshot() statsSnapshot {
 	snap.served = s.cacheServed.Load()
 	snap.patches = s.patchesApplied.Load()
 	snap.xfer = s.cacheTransferred.Load()
+	snap.clusterDials = s.clusterDials.Load()
+	snap.clusterRetries = s.clusterDialRetries.Load()
+	snap.clusterReconnects = s.clusterReconnects.Load()
+	snap.clusterReplayed = s.clusterReplayedFrames.Load()
 	return snap
 }
 
@@ -642,5 +672,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 		"patches_applied":   snap.patches,
 		"cache_transferred": snap.xfer,
+
+		"cluster_dials":           snap.clusterDials,
+		"cluster_dial_retries":    snap.clusterRetries,
+		"cluster_reconnects":      snap.clusterReconnects,
+		"cluster_replayed_frames": snap.clusterReplayed,
 	})
 }
