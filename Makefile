@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test test-short race fuzz bench-tables bench-cluster bench-fiber serve smoke-serve smoke-trace smoke-cluster check
+.PHONY: all build fmt vet lint test test-short race fuzz bench-tables bench-cluster bench-fiber bench-async serve smoke-serve smoke-trace smoke-cluster smoke-async check
 
 all: check
 
@@ -63,6 +63,12 @@ bench-cluster:
 bench-fiber:
 	$(GO) run ./cmd/mstbench -full -e e13,e14
 
+# The E15 async race at full scale: the windowed async engine against
+# the barrier fiber engine on Elkin and GHS at 10^5 and 10^6 vertices,
+# regenerating BENCH_async.json.
+bench-async:
+	$(GO) run ./cmd/mstbench -full -e e15
+
 # The MST job server (HTTP API; see the mstserved section of README.md),
 # with pprof profiling endpoints on for local work.
 serve:
@@ -87,4 +93,12 @@ smoke-trace:
 smoke-cluster:
 	sh scripts/smoke_cluster.sh
 
-check: build fmt vet lint test-short
+# Race-enabled async-engine smoke: the windowed delivery path, the
+# quiescence detector and the seeded-determinism regression gate
+# (TestEngineMatrixAsyncEquivalence: same AsyncSeed, bit-identical
+# Stats) under the race detector. Part of `make check` and CI; the
+# plain (unraced) async tests also run inside test-short.
+smoke-async:
+	$(GO) test -race -short -run 'Async' ./internal/parsim/ .
+
+check: build fmt vet lint test-short smoke-async

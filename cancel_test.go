@@ -17,11 +17,11 @@ func longRunGraph(t *testing.T) *Graph {
 }
 
 // cancelAlg picks the algorithm that exercises the engine's own
-// cancellation path: GHS on the Fiber engine (the original resumable
-// form; TestFiberCancelElkinAndPipeline covers the step-built ones),
-// Elkin everywhere else.
+// cancellation path: GHS on the Fiber and Async engines (the original
+// resumable form; TestFiberCancelElkinAndPipeline covers the
+// step-built ones), Elkin everywhere else.
 func cancelAlg(eng Engine) Algorithm {
-	if eng == Fiber {
+	if eng == Fiber || eng == Async {
 		return GHS
 	}
 	return Elkin
@@ -53,7 +53,7 @@ func awaitGoroutineBaseline(t *testing.T, baseline int) {
 func TestRunContextCancelAllEngines(t *testing.T) {
 	g := longRunGraph(t)
 	g.Connected() // warm the BFS outside the timed window
-	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber} {
+	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber, Async} {
 		t.Run(eng.String(), func(t *testing.T) {
 			baseline := runtime.NumGoroutine()
 			ctx, cancel := context.WithCancel(context.Background())
@@ -94,7 +94,7 @@ func TestRunContextCancelAllEngines(t *testing.T) {
 func TestRunContextDeadlineAllEngines(t *testing.T) {
 	g := longRunGraph(t)
 	g.Connected()
-	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber} {
+	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber, Async} {
 		t.Run(eng.String(), func(t *testing.T) {
 			baseline := runtime.NumGoroutine()
 			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
@@ -166,7 +166,7 @@ func TestRunContextPreCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber} {
+	for _, eng := range []Engine{Lockstep, Parallel, Cluster, Fiber, Async} {
 		if _, err := RunContext(ctx, g, Options{Engine: eng, Algorithm: cancelAlg(eng)}); !errors.Is(err, context.Canceled) {
 			t.Errorf("%v: error %v does not wrap context.Canceled", eng, err)
 		}

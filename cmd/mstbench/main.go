@@ -25,7 +25,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full-size experiments recorded in EXPERIMENTS.md")
 	only := flag.String("e", "", "comma-separated experiment ids (default: all)")
-	engine := flag.String("engine", "lockstep", "execution engine for the experiments: lockstep | parallel | cluster | fiber (e11-e14 always measure their own pairs)")
+	engine := flag.String("engine", "lockstep", "execution engine for the experiments: "+strings.Join(congestmst.EngineNames(), " | ")+" (e11-e15 always measure their own pairs)")
 	workers := flag.String("workers", "", "comma-separated fiber worker counts for the e14 sweep (default 1,2,4,8)")
 	traceDir := flag.String("trace", "", "write one NDJSON run trace per experiment run into this directory (created if missing)")
 	flag.Parse()

@@ -10,6 +10,7 @@
 //	mstrun -graph pathmst -n 2048 -alg pipeline -edges
 //	mstrun -graph random -n 1000000 -m 3000000 -alg elkin -engine parallel
 //	mstrun -graph random -n 1000000 -m 3000000 -alg ghs -engine fiber
+//	mstrun -graph random -n 100000 -m 400000 -alg elkin -engine async -async-seed 7
 //	mstrun -graph grid -rows 64 -cols 64 -alg elkin -engine cluster -shards 4
 //	mstrun -graph random -n 1024 -m 4096 -updates ops.ndjson
 //
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,8 +47,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		weights   = flag.String("weights", "distinct", "distinct | random | unit")
 		alg       = flag.String("alg", "elkin", "elkin | elkin-fixed-k | ghs | pipeline")
-		engine    = flag.String("engine", "lockstep", "execution engine: lockstep | parallel | cluster | fiber")
-		workers   = flag.Int("workers", 0, "parallel/fiber engine worker pool size (0 = GOMAXPROCS)")
+		engine    = flag.String("engine", "lockstep", "execution engine: "+strings.Join(congestmst.EngineNames(), " | "))
+		workers   = flag.Int("workers", 0, "parallel/fiber/async engine worker pool size (0 = GOMAXPROCS)")
+		asyncSeed = flag.Uint64("async-seed", 0, "async engine delivery-scheduler seed (same seed = same schedule and identical stats)")
 		shards    = flag.Int("shards", 0, "cluster engine shard count (0 = min(4, n)); sockets = shards*(shards-1)/2")
 		clusterCf = flag.String("cluster", "", "cluster config file (NDJSON); dispatches -engine cluster to remote mstshard workers")
 		bandwidth = flag.Int("b", 1, "CONGEST(b log n) bandwidth")
@@ -70,14 +73,14 @@ func main() {
 		defer cancel()
 	}
 	if err := run(ctx, *graphType, *n, *m, *rows, *cols, *clique, *tail, *seed, *weights,
-		*alg, *engine, *clusterCf, *workers, *shards, *bandwidth, *root, *fixedK, *edges, *metrics, *updates, *traceOut); err != nil {
+		*alg, *engine, *clusterCf, *workers, *shards, *asyncSeed, *bandwidth, *root, *fixedK, *edges, *metrics, *updates, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mstrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail int, seed uint64,
-	weights, alg, engine, clusterCf string, workers, shards, bandwidth, root, fixedK int, printEdges, printMetrics bool, updates, traceOut string) error {
+	weights, alg, engine, clusterCf string, workers, shards int, asyncSeed uint64, bandwidth, root, fixedK int, printEdges, printMetrics bool, updates, traceOut string) error {
 	g, err := congestmst.GraphSpec{
 		Type: graphType, N: n, M: m, Rows: rows, Cols: cols,
 		Clique: clique, Tail: tail, Seed: seed, Weights: weights,
@@ -102,6 +105,7 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 		Engine:    eng,
 		Workers:   workers,
 		Shards:    shards,
+		AsyncSeed: asyncSeed,
 		Bandwidth: bandwidth,
 		Root:      root,
 		FixedK:    fixedK,
@@ -173,7 +177,7 @@ func run(ctx context.Context, graphType string, n, m, rows, cols, clique, tail i
 	fmt.Printf("algorithm : %s (b=%d)\n", algorithm, bandwidth)
 	fmt.Printf("engine    : %s\n", eng)
 	if res.Stats != nil && res.Stats.FiberFallback {
-		fmt.Fprintf(os.Stderr, "mstrun: %s has no resumable form; the fiber engine ran it in goroutine mode\n", algorithm)
+		fmt.Fprintf(os.Stderr, "mstrun: %s has no resumable form; the %s engine ran it in goroutine mode\n", algorithm, eng)
 	}
 	fmt.Printf("rounds    : %d\n", res.Rounds)
 	fmt.Printf("messages  : %d\n", res.Messages)

@@ -111,39 +111,70 @@ const (
 	// PhaseEvent named "goroutine-fallback". Statistics are
 	// bit-identical either way.
 	Fiber
+	// Async is the fiber engine without the round barrier: per-shard
+	// delivery queues drained concurrently with execution, windows
+	// closed by an acknowledgment-counting quiescence detector, and an
+	// α-synchronizer-style logical clock in place of the global round
+	// clock. The contract it promises is deliberately weaker than the
+	// barrier engines' bit-identity: the same MST (edges and weight),
+	// message totals within the paper's bounds, and — because
+	// Options.AsyncSeed fixes the delivery schedule — bit-identical
+	// Stats across repeated runs with the same seed. (The current
+	// implementation preserves logical synchrony, so its Stats in fact
+	// coincide with lockstep; only the weaker contract is promised.)
+	// Algorithms without a resumable form fall back to goroutine mode
+	// exactly as under Fiber.
+	Async
 )
 
-func (e Engine) String() string {
-	switch e {
-	case Lockstep:
-		return "lockstep"
-	case Parallel:
-		return "parallel"
-	case Cluster:
-		return "cluster"
-	case Fiber:
-		return "fiber"
-	default:
-		return fmt.Sprintf("Engine(%d)", int(e))
-	}
+// engineTable is the single registry of engines: String, ParseEngine
+// and EngineNames all derive from it, so adding an engine cannot
+// leave a CLI's option listing stale (asserted by TestEngineNames).
+var engineTable = []struct {
+	e    Engine
+	name string
+}{
+	{Lockstep, "lockstep"},
+	{Parallel, "parallel"},
+	{Cluster, "cluster"},
+	{Fiber, "fiber"},
+	{Async, "async"},
 }
 
-// ParseEngine converts a command-line engine name ("lockstep",
-// "parallel", "cluster" or "fiber", case-insensitively) to an Engine.
-// The empty string means the default (Lockstep).
-func ParseEngine(s string) (Engine, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "lockstep", "":
-		return Lockstep, nil
-	case "parallel":
-		return Parallel, nil
-	case "cluster":
-		return Cluster, nil
-	case "fiber":
-		return Fiber, nil
-	default:
-		return 0, fmt.Errorf("congestmst: unknown engine %q (valid: lockstep, parallel, cluster, fiber)", s)
+func (e Engine) String() string {
+	for _, ent := range engineTable {
+		if ent.e == e {
+			return ent.name
+		}
 	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// EngineNames returns every valid engine name in declaration order.
+// CLIs build their usage strings from it, so the listing cannot go
+// stale when an engine is added.
+func EngineNames() []string {
+	names := make([]string, len(engineTable))
+	for i, ent := range engineTable {
+		names[i] = ent.name
+	}
+	return names
+}
+
+// ParseEngine converts a command-line engine name (case-insensitively;
+// see EngineNames for the valid set) to an Engine. The empty string
+// means the default (Lockstep).
+func ParseEngine(s string) (Engine, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return Lockstep, nil
+	}
+	for _, ent := range engineTable {
+		if ent.name == t {
+			return ent.e, nil
+		}
+	}
+	return 0, fmt.Errorf("congestmst: unknown engine %q (valid: %s)", s, strings.Join(EngineNames(), ", "))
 }
 
 // ParseAlgorithm converts a command-line algorithm name ("elkin",
@@ -211,6 +242,14 @@ type (
 	NetObserver = congest.NetObserver
 	// NetSample is the Cluster engine's socket-level account.
 	NetSample = congest.NetSample
+	// AsyncObserver optionally receives the Async engine's delivery
+	// and quiescence events (the sub-window structure RoundEvents
+	// cannot carry).
+	AsyncObserver = congest.AsyncObserver
+	// DeliveryEvent is one shard draining queued messages (Async).
+	DeliveryEvent = congest.DeliveryEvent
+	// QuiesceEvent is one closed delivery window (Async).
+	QuiesceEvent = congest.QuiesceEvent
 )
 
 // Re-exported weight modes.
@@ -340,6 +379,12 @@ type Options struct {
 	// Shards·(Shards-1)/2 TCP connections (default min(4, n)). Ignored
 	// by the other engines.
 	Shards int
+	// AsyncSeed seeds the Async engine's delivery scheduler: runs with
+	// the same seed replay the same slice-claim order, and with
+	// Workers: 1 the entire physical schedule — including every
+	// observer event — is reproduced exactly. Stats are bit-identical
+	// across seeds and worker counts. Ignored by the other engines.
+	AsyncSeed uint64
 	// Bandwidth is the CONGEST(b log n) parameter: messages per edge
 	// per direction per round (default 1, the standard CONGEST model).
 	Bandwidth int
@@ -549,6 +594,27 @@ func RunContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 		} else {
 			// No resumable form for this algorithm: run the blocking
 			// program on the same engine in goroutine mode, and say so.
+			if o := opts.Observer; o != nil {
+				o.OnPhase(congest.PhaseEvent{Name: "goroutine-fallback"})
+			}
+			stats, err = engine.RunContext(ctx, program)
+			if stats != nil {
+				stats.FiberFallback = true
+			}
+		}
+	case Async:
+		engine := parsim.NewEngine(g, parsim.Config{
+			Bandwidth: opts.Bandwidth,
+			MaxRounds: opts.MaxRounds,
+			Workers:   opts.Workers,
+			Observer:  opts.Observer,
+		})
+		if factory := fiberProgram(opts, g.N(), ports, res); factory != nil {
+			stats, err = engine.RunAsyncContext(ctx, factory, opts.AsyncSeed)
+		} else {
+			// No resumable form: the windowed delivery path needs
+			// fibers, so run the blocking program on the same engine in
+			// goroutine (barrier) mode, and say so.
 			if o := opts.Observer; o != nil {
 				o.OnPhase(congest.PhaseEvent{Name: "goroutine-fallback"})
 			}

@@ -159,10 +159,47 @@ func TestEngineString(t *testing.T) {
 		want string
 	}{
 		{Lockstep, "lockstep"}, {Parallel, "parallel"}, {Cluster, "cluster"}, {Fiber, "fiber"},
+		{Async, "async"},
 	}
 	for _, tt := range tests {
 		if got := tt.e.String(); got != tt.want {
 			t.Errorf("%d.String() = %q, want %q", int(tt.e), got, tt.want)
+		}
+	}
+}
+
+// TestEngineNames pins the single-registry property: EngineNames, the
+// String method, and ParseEngine (including its unknown-engine error
+// text) must all derive from the same table, so adding an engine can
+// never leave one of them stale.
+func TestEngineNames(t *testing.T) {
+	names := EngineNames()
+	want := []string{"lockstep", "parallel", "cluster", "fiber", "async"}
+	if len(names) != len(want) {
+		t.Fatalf("EngineNames() = %v, want %v", names, want)
+	}
+	for i, name := range names {
+		if name != want[i] {
+			t.Fatalf("EngineNames() = %v, want %v", names, want)
+		}
+		// Every listed name round-trips through ParseEngine and String.
+		e, err := ParseEngine(name)
+		if err != nil {
+			t.Errorf("ParseEngine(%q): %v", name, err)
+			continue
+		}
+		if e.String() != name {
+			t.Errorf("ParseEngine(%q).String() = %q", name, e.String())
+		}
+	}
+	// The unknown-engine error enumerates exactly the listed names.
+	_, err := ParseEngine("warp")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseEngine error %q does not list %q", err, name)
 		}
 	}
 }
@@ -172,6 +209,7 @@ func TestParseEngine(t *testing.T) {
 	for in, want := range map[string]Engine{
 		"lockstep": Lockstep, "parallel": Parallel, "cluster": Cluster, "fiber": Fiber,
 		"LOCKSTEP": Lockstep, "Parallel": Parallel, " Cluster ": Cluster, " FIBER ": Fiber,
+		"async": Async, " Async ": Async,
 	} {
 		got, err := ParseEngine(in)
 		if err != nil {

@@ -272,6 +272,70 @@ func TestFiberEngineNoFallback(t *testing.T) {
 	}
 }
 
+// TestEngineMatrixAsyncEquivalence is the acceptance test for the
+// Async engine's deliberately weaker cross-engine contract: on every
+// stock algorithm it must produce the same MST (edges and weight) as
+// lockstep, message totals within the paper's bounds (pinned here as
+// no worse than the synchronous total — the windowed path adds no
+// protocol traffic of its own), no goroutine fallback, and — the
+// seeded-determinism regression gate — bit-identical Stats across
+// repeated runs with the same AsyncSeed.
+func TestEngineMatrixAsyncEquivalence(t *testing.T) {
+	g, err := congestmst.RandomConnected(96, 288, congestmst.GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []congestmst.Algorithm{
+		congestmst.Elkin, congestmst.ElkinFixedK, congestmst.GHS, congestmst.Pipeline,
+	}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			lock, err := congestmst.Run(g, congestmst.Options{
+				Algorithm: alg, Engine: congestmst.Lockstep,
+			})
+			if err != nil {
+				t.Fatalf("lockstep: %v", err)
+			}
+			run := func(seed uint64) *congestmst.Result {
+				res, err := congestmst.Run(g, congestmst.Options{
+					Algorithm: alg, Engine: congestmst.Async, Workers: 3, AsyncSeed: seed,
+				})
+				if err != nil {
+					t.Fatalf("async seed=%d: %v", seed, err)
+				}
+				if res.Stats.FiberFallback {
+					t.Fatalf("%s fell back to goroutine mode under Engine: Async", alg)
+				}
+				return res
+			}
+			for _, seed := range []uint64{0, 1, 12345} {
+				got := run(seed)
+				if got.Weight != lock.Weight {
+					t.Errorf("seed %d: Weight %d, lockstep %d", seed, got.Weight, lock.Weight)
+				}
+				if len(got.MSTEdges) != len(lock.MSTEdges) {
+					t.Fatalf("seed %d: MST sizes differ: %d vs %d", seed, len(got.MSTEdges), len(lock.MSTEdges))
+				}
+				for i := range lock.MSTEdges {
+					if got.MSTEdges[i] != lock.MSTEdges[i] {
+						t.Fatalf("seed %d: MST edge %d differs: %d vs %d",
+							seed, i, got.MSTEdges[i], lock.MSTEdges[i])
+					}
+				}
+				if got.Messages > lock.Messages {
+					t.Errorf("seed %d: async sent %d messages, beyond the synchronous total %d",
+						seed, got.Messages, lock.Messages)
+				}
+				// Same seed, same schedule, same Stats — run it again.
+				if again := run(seed); *again.Stats != *got.Stats {
+					t.Errorf("seed %d: stats differ across identical runs:\nfirst:  %+v\nsecond: %+v",
+						seed, got.Stats, again.Stats)
+				}
+			}
+		})
+	}
+}
+
 // TestClusterEngineLargeGraph is the scaling acceptance test for the
 // cluster engine: all four algorithms on a random graph with m = 10^4
 // edges, over real loopback TCP, with stats bit-identical to lockstep.

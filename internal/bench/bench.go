@@ -1,4 +1,4 @@
-// Package bench defines the reproduction experiments (E1-E14): one per
+// Package bench defines the reproduction experiments (E1-E15): one per
 // claim of the paper plus the engine races, each regenerating a table
 // that EXPERIMENTS.md records. The same definitions back cmd/mstbench
 // and the root-level testing.B benchmarks.
@@ -125,6 +125,7 @@ func All() []Experiment {
 		{"e12", "Cluster transport: TCP shard mesh vs lockstep", E12ClusterTransport},
 		{"e13", "Fiber memory: resumable vs goroutine vertex programs", E13FiberMemory},
 		{"e14", "Fiber mode everywhere: four algorithms, worker sweep", E14FiberSweep},
+		{"e15", "Async engine: barrier-free delivery windows vs the fiber barrier", E15AsyncRace},
 	}
 }
 

@@ -255,7 +255,7 @@ func (t *Tree) PipelinedUpcastStep(c congest.Context, own []Item,
 				// Bandwidth refresh before the marker; anything that
 				// round delivers is dropped, exactly like the blocking
 				// form's discarded ctx.Step().
-				return congest.Until(c.Round()+1, func(c congest.Context, _ []congest.Inbound) congest.Step {
+				return congest.Quiesce(func(c congest.Context, _ []congest.Inbound) congest.Step {
 					c.Send(t.ParentPort, congest.Message{Kind: KindUpDone})
 					return then(c, nil)
 				})
@@ -266,7 +266,7 @@ func (t *Tree) PipelinedUpcastStep(c congest.Context, own []Item,
 		// Block for more input if nothing is pending locally; otherwise
 		// just let the next round start so bandwidth refreshes.
 		if pending {
-			return congest.Until(c.Round()+1, wake)
+			return congest.Quiesce(wake)
 		}
 		return congest.Await(wake)
 	}
@@ -379,7 +379,7 @@ func (t *Tree) RouteDownStep(c congest.Context, pairs []Routed,
 			})
 		}
 		if backlog {
-			return congest.Until(c.Round()+1, wake)
+			return congest.Quiesce(wake)
 		}
 		return congest.Await(wake)
 	}

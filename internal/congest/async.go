@@ -1,0 +1,32 @@
+package congest
+
+// AsyncContext is the park/resume surface the Async engine hands to
+// fibers: the non-blocking Context methods plus the synchronizer's
+// logical clock. It is the contract boundary the ISSUE-10 refactor
+// split out of the round clock — a fiber written against AsyncContext
+// can run under per-message causal delivery (no global round barrier)
+// because nothing it can reach implies a barrier:
+//
+//   - Clock() is the α-synchronizer's logical time, not a round index.
+//     On round-clock engines the two coincide (Round() == Clock());
+//     on the Async engine Clock() advances when the quiescence
+//     detector closes a delivery window, so consecutive wakes of one
+//     fiber may observe clock jumps with no implied lockstep against
+//     other vertices.
+//   - The blocking trio (Step/Recv/RecvUntil) is absent from the
+//     surface. Async-reachable code parks by returning ParkQuiesce /
+//     ParkAwait / ParkUntil instead; the fiberpark analyzer enforces
+//     this at compile time for functions typed against AsyncContext.
+//
+// Every fiber-engine Context in this repository implements
+// AsyncContext, so step-form programs can be written against the
+// narrower type and still run on all five engines through the
+// RunSteps compatibility shim (which maps ParkQuiesce back onto the
+// blocking Step).
+type AsyncContext interface {
+	Context
+	// Clock returns the synchronizer's current logical time: the round
+	// index under a round-clock engine, the delivery-window frontier
+	// under the Async engine.
+	Clock() int64
+}

@@ -28,7 +28,6 @@
 package congest
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -112,13 +111,15 @@ type Engine struct {
 	nodes  []nodeState
 	yields chan yieldMsg
 
-	round int64
+	// clock is the shared round clock + park calendar (clock.go); this
+	// engine drives it in lockstep, one tick per played round.
+	clock *Clock
 	stats Stats
 
 	// ready lists processors due at round+1 (fresh deliveries or an
-	// explicit Step); timers orders the more distant deadlines.
-	ready  []int
-	timers timerHeap
+	// explicit Step); the clock's calendar orders the more distant
+	// deadlines.
+	ready []int
 
 	mu      sync.Mutex
 	failErr error
@@ -156,6 +157,7 @@ func NewEngine(g *graph.Graph, cfg Config) *Engine {
 		csr:    g.CSR(),
 		nodes:  make([]nodeState, g.N()),
 		yields: make(chan yieldMsg, 64),
+		clock:  NewClock(cfg.maxRounds()),
 	}
 }
 
@@ -200,7 +202,7 @@ func (e *Engine) RunContext(ctx context.Context, program func(*Ctx)) (*Stats, er
 		doneCount += e.playRound(current)
 		if obs != nil && len(current) > 0 {
 			obs.OnRound(RoundEvent{
-				Round:     e.round,
+				Round:     e.clock.Now(),
 				Active:    len(current),
 				Messages:  e.stats.Messages,
 				WallNanos: time.Since(roundStart).Nanoseconds(), //lint:allow noclock observer round-wall-clock sampling, off the stats path
@@ -246,8 +248,9 @@ func (e *Engine) playRound(ids []int) int {
 	if len(ids) == 0 {
 		return 0
 	}
-	if e.round > e.stats.Rounds {
-		e.stats.Rounds = e.round
+	round := e.clock.Now()
+	if round > e.stats.Rounds {
+		e.stats.Rounds = round
 	}
 	for _, id := range ids {
 		ns := &e.nodes[id]
@@ -258,7 +261,7 @@ func (e *Engine) playRound(ids []int) int {
 		if len(msgs) > 1 {
 			sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].Port < msgs[j].Port })
 		}
-		ns.ctx.resume <- wake{round: e.round, msgs: msgs}
+		ns.ctx.resume <- wake{round: round, msgs: msgs}
 	}
 	finished := 0
 	for range ids {
@@ -276,13 +279,13 @@ func (e *Engine) playRound(ids []int) int {
 		ns.target = y.target
 		ns.gen++
 		switch {
-		case len(ns.inbox) > 0 || y.target == e.round+1:
+		case len(ns.inbox) > 0 || y.target == round+1:
 			if !ns.queued {
 				ns.queued = true
 				e.ready = append(e.ready, y.id)
 			}
 		case y.target < Forever:
-			heap.Push(&e.timers, timerEntry{round: y.target, id: y.id, gen: ns.gen})
+			e.clock.Schedule(TimerEntry{Round: y.target, ID: y.id, Gen: ns.gen})
 		}
 	}
 	return finished
@@ -303,51 +306,29 @@ func (e *Engine) route(from int, om outMsg) {
 	}
 }
 
-// nextWakeSet advances the round and returns the processors to release.
+// nextWakeSet advances the clock and returns the processors to
+// release: the ready list when anyone is due at round+1, with calendar
+// entries expiring at (or before) the new round firing alongside;
+// otherwise the clock fast-forwards to the earliest live deadline.
 func (e *Engine) nextWakeSet() ([]int, error) {
-	// First preference: the immediate next round, if anyone is due
-	// (either fresh deliveries or an explicit Step target).
-	if len(e.ready) > 0 {
-		due := e.ready
-		e.ready = nil
-		e.round++
-		if e.round > e.cfg.maxRounds() {
-			return nil, fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.maxRounds())
-		}
-		// Timers expiring at (or before) the new round fire together
-		// with the message-driven wakeups.
-		return append(due, e.popTimers(e.round)...), nil
+	if err := e.clock.Advance(len(e.ready) > 0, e.liveTimer); err != nil {
+		return nil, err
 	}
-	// Otherwise fast-forward the clock to the earliest live timer.
-	for e.timers.Len() > 0 {
-		top := e.timers.items[0]
-		if ns := &e.nodes[top.id]; ns.done || !ns.parked || ns.queued || ns.gen != top.gen {
-			heap.Pop(&e.timers) // stale
-			continue
-		}
-		target := top.round
-		if target > e.cfg.maxRounds() {
-			return nil, fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.maxRounds())
-		}
-		e.round = target
-		return e.popTimers(target), nil
-	}
-	return nil, ErrDeadlock
+	due := e.ready
+	e.ready = nil
+	e.clock.PopDue(e.liveTimer, func(t TimerEntry) {
+		e.nodes[t.ID].queued = true // guards against double release
+		due = append(due, t.ID)
+	})
+	return due, nil
 }
 
-// popTimers releases every live timer entry with deadline <= round.
-func (e *Engine) popTimers(round int64) []int {
-	var due []int
-	for e.timers.Len() > 0 && e.timers.items[0].round <= round {
-		entry := heap.Pop(&e.timers).(timerEntry)
-		ns := &e.nodes[entry.id]
-		if ns.done || !ns.parked || ns.queued || ns.gen != entry.gen {
-			continue
-		}
-		ns.queued = true // guards against double release
-		due = append(due, entry.id)
-	}
-	return due
+// liveTimer reports whether a calendar entry still represents a parked
+// processor (stale entries survive early wakes; the gen check kills
+// them).
+func (e *Engine) liveTimer(t TimerEntry) bool {
+	ns := &e.nodes[t.ID]
+	return !ns.done && ns.parked && !ns.queued && ns.gen == t.Gen
 }
 
 // drain aborts every still-parked processor and waits for its goroutine
@@ -400,26 +381,4 @@ func (e *Engine) isAborted() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.aborted
-}
-
-type timerEntry struct {
-	round int64
-	id    int
-	gen   int64
-}
-
-type timerHeap struct {
-	items []timerEntry
-}
-
-func (h *timerHeap) Len() int           { return len(h.items) }
-func (h *timerHeap) Less(i, j int) bool { return h.items[i].round < h.items[j].round }
-func (h *timerHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *timerHeap) Push(x any)         { h.items = append(h.items, x.(timerEntry)) }
-func (h *timerHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
 }

@@ -76,6 +76,13 @@ const (
 	// ParkAwait parks until some future round delivers a message
 	// (Recv).
 	ParkAwait Park = -2
+	// ParkQuiesce parks until the synchronizer next advances past a
+	// quiescent point: on the Async engine, the close of the current
+	// delivery window (all shards idle, no messages in flight); on the
+	// round-clock engines, exactly ParkUntil(Round()+1). It is the
+	// async-native spelling of Step — a fiber that parks Quiesce wakes
+	// with whatever the closed window delivered, possibly nothing.
+	ParkQuiesce Park = -3
 )
 
 // ParkUntil parks until round r, or until the first earlier round that

@@ -95,6 +95,52 @@ type ShardSample struct {
 	BusyNanos int64
 }
 
+// AsyncObserver is an optional Observer extension: the Async engine
+// emits DeliveryEvents as shards drain their message queues between
+// barriers and one QuiesceEvent each time the quiescence detector
+// closes a delivery window (every shard idle, no messages in flight)
+// and the logical clock advances. Round-clock engines never emit
+// these. The Async engine still emits cumulative RoundEvents — one per
+// closed window — so plain Observers keep working unchanged; this
+// interface exposes the sub-window structure RoundEvents cannot carry.
+//
+// OnDelivery is called from shard workers concurrently; OnQuiesce from
+// the coordinator. Both inherit the Observer contract: fast,
+// non-blocking, no calls back into the engine.
+type AsyncObserver interface {
+	OnDelivery(DeliveryEvent)
+	OnQuiesce(QuiesceEvent)
+}
+
+// DeliveryEvent is one shard draining a batch of queued messages into
+// its vertex inboxes, concurrently with other shards still executing.
+type DeliveryEvent struct {
+	// Clock is the logical time the delivered messages are stamped
+	// with (the window that will wake their recipients).
+	Clock int64
+	// Shard is the draining shard; Count the messages it moved.
+	Shard, Count int
+	// InFlight is the acknowledgment counter's value after the drain:
+	// messages sent but not yet moved into an inbox, across all shards.
+	InFlight int64
+}
+
+// QuiesceEvent is one closed delivery window: the quiescence detector
+// saw every shard idle with no messages in flight, and the logical
+// clock advanced.
+type QuiesceEvent struct {
+	// Clock is the logical time of the window just closed.
+	Clock int64
+	// Window is the ordinal of this quiescence (1 for the first closed
+	// window). Clock can jump over idle stretches; Window never does.
+	Window int64
+	// Executed is the number of vertex resumptions inside this window;
+	// Delivered the number of messages drained during it.
+	Executed, Delivered int64
+	// WallNanos is the wall-clock duration of the window.
+	WallNanos int64
+}
+
 // NetObserver is an optional Observer extension: the Cluster engine
 // emits one NetSample when the run ends, accounting for the TCP
 // transport underneath the CONGEST statistics.

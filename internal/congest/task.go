@@ -50,6 +50,13 @@ func Await(next Resume) Step { return Step{park: ParkAwait, next: next} }
 // Until(c.Round()+1, k) is Step.
 func Until(r int64, next Resume) Step { return Step{park: ParkUntil(r), next: next} }
 
+// Quiesce parks until the synchronizer next advances past a quiescent
+// point (ParkQuiesce): the close of the current delivery window on the
+// Async engine, the next round on every round-clock engine. It is the
+// engine-neutral spelling of "one tick" for programs that do not need
+// an absolute deadline.
+func Quiesce(next Resume) Step { return Step{park: ParkQuiesce, next: next} }
+
 // RunSteps drives a Step program to completion over the blocking
 // Context API. It is the compatibility shim that lets one Step-form
 // algorithm serve as both the blocking program (goroutine, lockstep
@@ -57,9 +64,12 @@ func Until(r int64, next Resume) Step { return Step{park: ParkUntil(r), next: ne
 func RunSteps(c Context, s Step) {
 	for s.park != ParkDone {
 		var msgs []Inbound
-		if s.park == ParkAwait {
+		switch s.park {
+		case ParkAwait:
 			msgs = c.Recv()
-		} else {
+		case ParkQuiesce:
+			msgs = c.Step()
+		default:
 			msgs = c.RecvUntil(int64(s.park))
 		}
 		s = s.next(c, msgs)

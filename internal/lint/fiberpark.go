@@ -170,11 +170,14 @@ func hasContextParam(t types.Type) bool {
 	return false
 }
 
-// isCongestContext reports whether t is the congest.Context interface
-// or the in-process *congest.Ctx that implements it.
+// isCongestContext reports whether t is the congest.Context interface,
+// the async park/resume surface congest.AsyncContext (so step-form
+// programs written against the narrower async type are rooted and
+// swept identically), or the in-process *congest.Ctx implementing
+// them.
 func isCongestContext(t types.Type) bool {
 	p, n := namedType(t)
-	return p == congestPath && (n == "Context" || n == "Ctx")
+	return p == congestPath && (n == "Context" || n == "AsyncContext" || n == "Ctx")
 }
 
 // calleeFunc resolves a call to its static callee, whether plain

@@ -12,9 +12,9 @@ import (
 // only legal behind a nil check, and an unguarded call is a panic on
 // the hot path the first time someone runs without tracing. The
 // analyzer flags any call of a congest observer interface method
-// (OnRound, OnPhase, OnShardSample, OnNet) on an interface-typed
-// receiver unless the call is dominated by one of the idioms the
-// engines use:
+// (OnRound, OnPhase, OnShardSample, OnNet, OnDelivery, OnQuiesce) on
+// an interface-typed receiver unless the call is dominated by one of
+// the idioms the engines use:
 //
 //	if obs != nil { obs.OnRound(ev) }
 //	if o := cfg.Observer; o != nil && tau.Root { o.OnPhase(ev) }
@@ -26,8 +26,13 @@ var Obsnil = &analysis.Analyzer{
 	Run:  runObsnil,
 }
 
-var observerIfaces = map[string]bool{"Observer": true, "ShardObserver": true, "NetObserver": true}
-var observerMethods = map[string]bool{"OnRound": true, "OnPhase": true, "OnShardSample": true, "OnNet": true}
+var observerIfaces = map[string]bool{
+	"Observer": true, "ShardObserver": true, "NetObserver": true, "AsyncObserver": true,
+}
+var observerMethods = map[string]bool{
+	"OnRound": true, "OnPhase": true, "OnShardSample": true, "OnNet": true,
+	"OnDelivery": true, "OnQuiesce": true,
+}
 
 func runObsnil(pass *analysis.Pass) error {
 	allow := buildAllowlist(pass)

@@ -80,6 +80,40 @@ func conforming(c congest.Context) congest.Step {
 	})
 }
 
+// asyncBlocking is the ISSUE-10 hazard: a continuation typed against
+// the async park/resume surface (congest.AsyncContext) that sneaks a
+// blocking call in. AsyncContext's method set does not even include
+// the blocking trio, but the surface embeds Context, so the dynamic
+// value may still have them — the analyzer must root AsyncContext
+// signatures exactly like Context ones.
+func asyncBlocking(c congest.AsyncContext) congest.Step {
+	_ = c.Recv() // want "blocking congest.Context.Recv"
+	return congest.Done()
+}
+
+// asyncHelperReached blocks in a helper reached from an async root.
+func asyncHelperReached(c congest.AsyncContext) []congest.Inbound {
+	return c.Recv() // want "blocking congest.Context.Recv"
+}
+
+func asyncRootCallingHelper(c congest.AsyncContext) congest.Step {
+	_ = asyncHelperReached(c)
+	return congest.Done()
+}
+
+// asyncConforming is the legal async shape: quiesce-parks plus the
+// logical clock, no blocking reachable.
+func asyncConforming(c congest.AsyncContext) congest.Step {
+	start := c.Clock()
+	return congest.Quiesce(func(c congest.Context, msgs []congest.Inbound) congest.Step {
+		for _, in := range msgs {
+			c.Send(in.Port, in.Msg)
+		}
+		_ = start
+		return congest.Done()
+	})
+}
+
 // blockingHelper is NOT step-form (no Step/Park result) and is never
 // called from a root: the blocking engines may use this shape freely.
 func blockingHelper(c congest.Context) []congest.Inbound {

@@ -69,3 +69,24 @@ func wrongGuard(a, b options, ev congest.RoundEvent) {
 func allowed(opts options, ev congest.RoundEvent) {
 	opts.Observer.OnRound(ev) //lint:allow obsnil test helper, observer always set
 }
+
+// The Async engine's observer extension is covered like the others.
+type asyncState struct {
+	obs congest.AsyncObserver
+}
+
+func unguardedAsync(a asyncState, ev congest.DeliveryEvent) {
+	a.obs.OnDelivery(ev) // want "observer call a.obs.OnDelivery without a nil guard"
+}
+
+func guardedAsync(a asyncState, ev congest.QuiesceEvent) {
+	if a.obs != nil {
+		a.obs.OnQuiesce(ev)
+	}
+}
+
+func guardedAsyncAssert(opts options, ev congest.DeliveryEvent) {
+	if ao, ok := opts.Observer.(congest.AsyncObserver); ok {
+		ao.OnDelivery(ev)
+	}
+}

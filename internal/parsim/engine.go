@@ -54,7 +54,6 @@ package parsim
 
 import (
 	"cmp"
-	"container/heap"
 	"context"
 	"fmt"
 	"runtime"
@@ -223,7 +222,7 @@ type shard struct {
 	arena *fiberArena
 
 	// timers stages calendar entries for the coordinator.
-	timers []timerEntry
+	timers []congest.TimerEntry
 
 	// Per-shard statistics, merged once at the end of the run.
 	messages int64
@@ -244,6 +243,10 @@ type phaseKind int32
 const (
 	phaseExec phaseKind = iota
 	phaseDeliver
+	// phaseAsync is not a phase over shards but a whole delivery
+	// window: a worker receiving it joins asyncRun.work until the
+	// quiescence detector closes the window (async.go).
+	phaseAsync
 )
 
 // Engine executes one program on one graph. Engines are single-use.
@@ -258,9 +261,15 @@ type Engine struct {
 	shardSize int
 	fiberMode bool
 
-	round       int64
+	// clock is the shared logical clock + park calendar
+	// (congest.Clock): the round index under the barrier engines, the
+	// α-synchronizer's window frontier under the Async engine.
+	clock       *congest.Clock
 	statsRounds int64
-	timers      timerHeap
+
+	// async, when non-nil, switches runLoop onto the windowed
+	// delivery path (async.go); the barrier engines never touch it.
+	async *asyncRun
 
 	// sample arms per-shard busy-time measurement (Observer implements
 	// congest.ShardObserver); lastActive is the wake-set size of the
@@ -312,6 +321,7 @@ func NewEngine(g *graph.Graph, cfg Config) *Engine {
 		shardSize: shardSize,
 		nworkers:  w,
 		jobs:      make(chan phaseKind),
+		clock:     congest.NewClock(cfg.maxRounds()),
 	}
 	for i := range e.shards {
 		s := &e.shards[i]
@@ -499,16 +509,21 @@ func (e *Engine) runLoop(ctx context.Context) (*congest.Stats, error) {
 		if obs != nil {
 			roundStart = time.Now() //lint:allow noclock observer round-wall-clock sampling, off the stats path
 		}
-		doneCount += e.playRound()
+		if e.async != nil {
+			doneCount += e.playWindow()
+		} else {
+			doneCount += e.playRound()
+		}
 		if obs != nil && e.lastActive > 0 {
-			// The phases barrier in playRound ordered every shard's
-			// counter writes before this read.
+			// The phases barrier in playRound (or the quiescence
+			// detector in playWindow) ordered every shard's counter
+			// writes before this read.
 			var cum int64
 			for i := range e.shards {
 				cum += e.shards[i].messages
 			}
 			obs.OnRound(congest.RoundEvent{
-				Round:     e.round,
+				Round:     e.clock.Now(),
 				Active:    e.lastActive,
 				Messages:  cum,
 				WallNanos: time.Since(roundStart).Nanoseconds(), //lint:allow noclock observer round-wall-clock sampling, off the stats path
@@ -603,18 +618,24 @@ func (e *Engine) playRound() int {
 	if total == 0 {
 		return 0
 	}
-	if e.round > e.statsRounds {
-		e.statsRounds = e.round
+	if now := e.clock.Now(); now > e.statsRounds {
+		e.statsRounds = now
 	}
 	e.runPhase(phaseExec, total)
 	e.runPhase(phaseDeliver, total)
+	return e.collectShards()
+}
+
+// collectShards gathers the finished counts and staged calendar
+// entries out of every shard after a round (or window) completes.
+func (e *Engine) collectShards() int {
 	finished := 0
 	for i := range e.shards {
 		s := &e.shards[i]
 		finished += s.finished
 		s.finished = 0
 		for _, t := range s.timers {
-			heap.Push(&e.timers, t)
+			e.clock.Schedule(t)
 		}
 		s.timers = s.timers[:0]
 	}
@@ -640,6 +661,11 @@ func (e *Engine) runPhase(ph phaseKind, totalActive int) {
 
 func (e *Engine) worker() {
 	for ph := range e.jobs {
+		if ph == phaseAsync {
+			e.async.work(e)
+			e.wg.Done()
+			continue
+		}
 		for {
 			i := int(e.cursor.Add(1)) - 1
 			if i >= len(e.shards) {
@@ -695,7 +721,7 @@ func (e *Engine) execShard(i int) {
 		nd.parked = false
 		sortInbox(nd.inbox)
 		gn := &e.gnodes[id]
-		gn.wakeRound = e.round
+		gn.wakeRound = e.clock.Now()
 		gn.sem.Unlock()   // resume the program
 		s.yieldSem.Lock() // wait for its yield (or return)
 		e.settle(s, id)
@@ -723,6 +749,7 @@ func (e *Engine) execShardFiber(i int) {
 	}
 	sort.Ints(s.active)
 	fc := &s.fc
+	now := e.clock.Now()
 	for _, id := range s.active {
 		nd := &e.nodes[id]
 		nd.queued = false
@@ -730,7 +757,7 @@ func (e *Engine) execShardFiber(i int) {
 		msgs := nd.inbox
 		nd.inbox = nil
 		sortInbox(msgs)
-		fc.point(id, e.round)
+		fc.point(id, now)
 		park, ok := e.callFiber(nd, fc, msgs)
 		if !ok {
 			// The fiber died mid-call: discard its partial outbox, like
@@ -750,16 +777,27 @@ func (e *Engine) execShardFiber(i int) {
 			fc.sentN[om.port] = 0
 		}
 		fc.outbox = fc.outbox[:0]
+		if e.async != nil {
+			// Async mode: one flush per source vertex moves its staged
+			// sends into the destination queues, so a port's messages
+			// sit contiguously in its queue in send order and other
+			// shards can start draining them while this slice is still
+			// executing.
+			e.async.flush(e, s)
+		}
 		if park == congest.ParkDone {
 			e.retire(s, nd)
 			continue
 		}
 		target := int64(park)
-		if park == congest.ParkAwait {
+		switch park {
+		case congest.ParkAwait:
 			target = congest.Forever
+		case congest.ParkQuiesce:
+			target = now + 1
 		}
-		if target <= e.round {
-			e.fail(fmt.Errorf("parsim: fiber %d parked for round %d at round %d", id, target, e.round))
+		if target <= now {
+			e.fail(fmt.Errorf("parsim: fiber %d parked for round %d at round %d", id, target, now))
 			e.retire(s, nd)
 			continue
 		}
@@ -823,11 +861,11 @@ func (e *Engine) park(s *shard, id int, target int64) {
 	nd.target = target
 	nd.gen++
 	switch {
-	case target == e.round+1:
+	case target == e.clock.Now()+1:
 		nd.queued = true
 		s.nextActive = append(s.nextActive, id)
 	case target < congest.Forever:
-		s.timers = append(s.timers, timerEntry{round: target, id: id, gen: nd.gen})
+		s.timers = append(s.timers, congest.TimerEntry{Round: target, ID: id, Gen: nd.gen})
 	}
 }
 
@@ -926,10 +964,11 @@ func (e *Engine) deliverShardFiber(i int) {
 	s.touched = s.touched[:0]
 }
 
-// advance moves the clock to the next round with work: round+1 if any
-// vertex is due (fresh deliveries or an explicit Step), otherwise a
-// fast-forward to the earliest live calendar entry. Timers expiring at
-// or before the new round fire together with the message wakeups.
+// advance moves the clock to the next round (or delivery window) with
+// work: now+1 if any vertex is due (fresh deliveries or an explicit
+// Step), otherwise a fast-forward to the earliest live calendar entry.
+// Calendar entries expiring at or before the new time fire together
+// with the message wakeups.
 func (e *Engine) advance() error {
 	due := false
 	for i := range e.shards {
@@ -938,48 +977,28 @@ func (e *Engine) advance() error {
 			break
 		}
 	}
+	if err := e.clock.Advance(due, e.liveTimer); err != nil {
+		return err
+	}
 	if due {
-		e.round++
-		if e.round > e.cfg.maxRounds() {
-			return fmt.Errorf("%w (%d)", congest.ErrMaxRounds, e.cfg.maxRounds())
-		}
 		for i := range e.shards {
 			s := &e.shards[i]
 			s.active, s.nextActive = s.nextActive, s.active[:0]
 		}
-		e.popTimers(e.round)
-		return nil
 	}
-	// Fast-forward to the earliest live timer.
-	for e.timers.Len() > 0 {
-		top := e.timers.items[0]
-		if nd := &e.nodes[top.id]; nd.done || !nd.parked || nd.queued || nd.gen != top.gen {
-			heap.Pop(&e.timers) // stale
-			continue
-		}
-		if top.round > e.cfg.maxRounds() {
-			return fmt.Errorf("%w (%d)", congest.ErrMaxRounds, e.cfg.maxRounds())
-		}
-		e.round = top.round
-		e.popTimers(top.round)
-		return nil
-	}
-	return congest.ErrDeadlock
+	e.clock.PopDue(e.liveTimer, func(t congest.TimerEntry) {
+		e.nodes[t.ID].queued = true // guards against double release
+		s := &e.shards[e.shardOf(t.ID)]
+		s.active = append(s.active, t.ID)
+	})
+	return nil
 }
 
-// popTimers releases every live calendar entry with deadline <= round
-// into its shard's active set.
-func (e *Engine) popTimers(round int64) {
-	for e.timers.Len() > 0 && e.timers.items[0].round <= round {
-		entry := heap.Pop(&e.timers).(timerEntry)
-		nd := &e.nodes[entry.id]
-		if nd.done || !nd.parked || nd.queued || nd.gen != entry.gen {
-			continue
-		}
-		nd.queued = true // guards against double release
-		s := &e.shards[e.shardOf(entry.id)]
-		s.active = append(s.active, entry.id)
-	}
+// liveTimer reports whether a calendar entry still represents a parked
+// vertex (stale entries survive early wakes; the gen check kills them).
+func (e *Engine) liveTimer(t congest.TimerEntry) bool {
+	nd := &e.nodes[t.ID]
+	return !nd.done && nd.parked && !nd.queued && nd.gen == t.Gen
 }
 
 // drain aborts every still-parked vertex goroutine and waits for it to
@@ -1034,26 +1053,4 @@ func (e *Engine) fail(err error) {
 	}
 	e.mu.Unlock()
 	e.aborted.Store(true)
-}
-
-type timerEntry struct {
-	round int64
-	id    int
-	gen   int64
-}
-
-type timerHeap struct {
-	items []timerEntry
-}
-
-func (h *timerHeap) Len() int           { return len(h.items) }
-func (h *timerHeap) Less(i, j int) bool { return h.items[i].round < h.items[j].round }
-func (h *timerHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *timerHeap) Push(x any)         { h.items = append(h.items, x.(timerEntry)) }
-func (h *timerHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
 }

@@ -28,7 +28,7 @@ type fiberCtx struct {
 	sentN []int32
 }
 
-var _ congest.Context = (*fiberCtx)(nil)
+var _ congest.AsyncContext = (*fiberCtx)(nil)
 
 // point aims the context at vertex id for one Start/Resume call.
 func (c *fiberCtx) point(id int, round int64) {
@@ -52,6 +52,11 @@ func (c *fiberCtx) Weight(p int) int64 { return c.e.csr.W[c.base+int64(p)] }
 
 // Round returns the current round number (starting at 0).
 func (c *fiberCtx) Round() int64 { return c.round }
+
+// Clock returns the synchronizer's logical time (congest.AsyncContext):
+// the round under the barrier engines, the delivery-window frontier
+// under the Async engine. The two coincide on this engine's contexts.
+func (c *fiberCtx) Clock() int64 { return c.round }
 
 // Bandwidth returns b, the per-edge per-direction message budget.
 func (c *fiberCtx) Bandwidth() int { return c.e.cfg.bandwidth() }

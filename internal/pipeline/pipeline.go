@@ -277,7 +277,7 @@ func upcastStep(c congest.Context, tau *bfstree.Tree, own []edge,
 				// CandDone marker. Any concurrently delivered messages
 				// are discarded, matching the blocking form (there are
 				// none: every child already sent its CandDone).
-				return congest.Until(c.Round()+1, func(c congest.Context, _ []congest.Inbound) congest.Step {
+				return congest.Quiesce(func(c congest.Context, _ []congest.Inbound) congest.Step {
 					c.Send(tau.ParentPort, congest.Message{Kind: KindCandDone})
 					return then(c, nil)
 				})
@@ -286,7 +286,7 @@ func upcastStep(c congest.Context, tau *bfstree.Tree, own []edge,
 			return then(c, nil)
 		}
 		if pending {
-			return congest.Until(c.Round()+1, wake)
+			return congest.Quiesce(wake)
 		}
 		return congest.Await(wake)
 	}
@@ -348,7 +348,7 @@ func floodStep(c congest.Context, tau *bfstree.Tree, winners []edge,
 			})
 		}
 		if qHead < len(queue) {
-			return congest.Until(c.Round()+1, wake)
+			return congest.Quiesce(wake)
 		}
 		return congest.Await(wake)
 	}

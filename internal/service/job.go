@@ -31,6 +31,9 @@ type JobRequest struct {
 	FixedK    int      `json:"fixed_k,omitempty"`
 	Workers   int      `json:"workers,omitempty"` // parallel engine pool size
 	Shards    int      `json:"shards,omitempty"`  // cluster engine shard count
+	// AsyncSeed seeds the async engine's delivery scheduler; runs with
+	// the same seed replay the same schedule. Ignored by other engines.
+	AsyncSeed uint64 `json:"async_seed,omitempty"`
 	// Remote dispatches a cluster-engine job to the mstshard workers the
 	// server was configured with (mstserved -cluster). Remote and
 	// in-process cluster runs are bit-identical, so they share one result
@@ -92,6 +95,10 @@ type cacheKey struct {
 	bandwidth int
 	root      int
 	fixedK    int
+	// asyncSeed is set for Async jobs only (zero otherwise): the async
+	// contract promises per-seed reproducibility, not cross-seed
+	// bit-identity, so different seeds get their own cache lines.
+	asyncSeed uint64
 }
 
 // job is the server-side state of one submission. The mutex guards

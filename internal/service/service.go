@@ -382,6 +382,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		Engine:    eng,
 		Workers:   req.Workers,
 		Shards:    req.Shards,
+		AsyncSeed: req.AsyncSeed,
 		Bandwidth: req.Bandwidth,
 		Root:      req.Root,
 		FixedK:    req.FixedK,
@@ -431,6 +432,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		bandwidth: opts.Bandwidth,
 		root:      opts.Root,
 		fixedK:    opts.FixedK,
+	}
+	if eng == congestmst.Async {
+		// Other engines ignore the seed; keying it only for Async keeps
+		// "seed omitted" and "seed: 7" on one line everywhere else.
+		key.asyncSeed = req.AsyncSeed
 	}
 
 	// Cache lookup before admission: a hit is resolved inline, without
